@@ -1,0 +1,19 @@
+"""Ablation: duplicate-GET service (the paper's Fig. 4 observation).
+
+With the paper-observed behaviour on, retransmitted GET copies are
+re-served; with exact-once semantics they are not.
+"""
+
+from benchmarks.conftest import bench_n
+from repro.experiments.ablations import run_dupserve_ablation
+
+
+def test_dupserve_ablation(benchmark, show):
+    n = bench_n(15)
+    result = benchmark.pedantic(lambda: run_dupserve_ablation(n_per_point=n),
+                                rounds=1, iterations=1)
+    show(result.table())
+    by_mode = {p.serve_duplicates: p for p in result.points}
+    assert by_mode[False].duplicate_serves_per_load == 0.0
+    assert (by_mode[True].duplicate_serves_per_load
+            >= by_mode[False].duplicate_serves_per_load)

@@ -1,0 +1,25 @@
+"""Ablation: TCP loss-recovery generation (DESIGN.md section 5).
+
+The paper's 2020 testbed saw broken connections under aggressive drops
+and decaying late-image success; modern loss recovery (TLP/RACK/F-RTO)
+shrugs the same attack off with higher success.  This bench quantifies
+the gap -- and explains the deltas recorded in EXPERIMENTS.md E4/E5.
+"""
+
+from benchmarks.conftest import bench_n
+from repro.experiments.ablations import run_recovery_ablation
+
+
+def test_recovery_generation_ablation(benchmark, show):
+    n = bench_n(15)
+    result = benchmark.pedantic(lambda: run_recovery_ablation(n_per_point=n),
+                                rounds=1, iterations=1)
+    show(result.table())
+    by_stack = {p.stack: p for p in result.points}
+    modern, legacy = by_stack["modern"], by_stack["legacy-2020"]
+    # The attack works against both generations...
+    assert modern.image_success_pct > 60.0
+    assert legacy.image_success_pct > 40.0
+    # ...but the legacy stack shows the paper's fragility.
+    assert legacy.broken_pct >= modern.broken_pct
+    assert legacy.mean_duration_s > modern.mean_duration_s

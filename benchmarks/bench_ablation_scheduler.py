@@ -1,0 +1,20 @@
+"""Ablation: the server's multiplexing scheduler (DESIGN.md section 5).
+
+Round-robin is the paper's multiplexing server; FIFO is "multiplexing
+disabled" -- under it the passive size side-channel needs no attack.
+"""
+
+from benchmarks.conftest import bench_n
+from repro.experiments.ablations import run_scheduler_ablation
+
+
+def test_scheduler_ablation(benchmark, show):
+    n = bench_n(15)
+    result = benchmark.pedantic(lambda: run_scheduler_ablation(n_per_point=n),
+                                rounds=1, iterations=1)
+    show(result.table())
+    by_name = {p.scheduler: p for p in result.points}
+    # FIFO kills image multiplexing; round-robin sustains it.
+    assert by_name["fifo"].image_mean_degree_pct < 30.0
+    assert by_name["round-robin"].image_mean_degree_pct > 40.0
+    assert by_name["weighted"].image_mean_degree_pct > 40.0

@@ -1,0 +1,19 @@
+"""E1: baseline multiplexing without the adversary (DESIGN.md E1).
+
+Paper reference points: HTML non-multiplexed in ~32 % of loads, ~98 %
+degree when multiplexed, emblem images 80-99 %.
+"""
+
+from benchmarks.conftest import bench_n
+from repro.experiments.baseline import run_baseline
+
+
+def test_baseline_multiplexing(benchmark, show):
+    n = bench_n(40)
+    result = benchmark.pedantic(lambda: run_baseline(n_loads=n),
+                                rounds=1, iterations=1)
+    show(result.table())
+    # Shape assertions (generous bands; see EXPERIMENTS.md for numbers).
+    assert 10.0 <= result.html_nonmux_pct <= 55.0
+    assert result.html_degree_when_muxed > 0.6
+    assert result.image_mean_degree > 0.35

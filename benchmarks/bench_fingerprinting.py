@@ -1,0 +1,19 @@
+"""E7a: ML classification of encrypted traces (DESIGN.md E7)."""
+
+from benchmarks.conftest import bench_n
+from repro.experiments.fingerprinting import run_fingerprinting
+
+
+def test_fingerprinting(benchmark, show):
+    n = bench_n(32)
+    result = benchmark.pedantic(
+        lambda: run_fingerprinting(n_loads=n, n_pages=6, loads_per_page=5),
+        rounds=1, iterations=1)
+    show(result.table())
+    # The attack makes the answer readable.
+    assert result.decoded_first_party_pct >= 70.0
+    # Without any adversary the best classifier stays near chance.
+    assert max(result.first_party_none.values()) < 0.45
+    # Classic page fingerprinting works on both protocol stacks.
+    assert max(result.page_h1.values()) > 0.8
+    assert max(result.page_h2.values()) > 0.8

@@ -1,0 +1,21 @@
+"""E9 (extension): attack transfer to HTTP/3 over QUIC.
+
+On a fully encrypted QUIC wire the adversary loses the TLS record
+headers, but request datagrams are still individually spaceable by
+size and object boundaries still fall out of sub-full packets -- the
+serialization attack transfers.
+"""
+
+from benchmarks.conftest import bench_n
+from repro.experiments.quic_transfer import run_quic_transfer
+
+
+def test_quic_transfer(benchmark, show):
+    n = max(5, bench_n(10) // 2)
+    result = benchmark.pedantic(lambda: run_quic_transfer(n_sessions=n),
+                                rounds=1, iterations=1)
+    show(result.table())
+    by_name = {p.condition.split(" (")[0]: p for p in result.points}
+    assert by_name["passive"].sequence_accuracy_pct < 40.0
+    assert by_name["spacing attack"].sequence_accuracy_pct > 75.0
+    assert by_name["spacing attack"].images_serialized_pct > 85.0

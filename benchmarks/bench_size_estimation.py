@@ -1,0 +1,10 @@
+"""E6: Figure 1 -- size estimation, serialized vs multiplexed."""
+
+from repro.experiments.size_estimation import run_size_estimation
+
+
+def test_size_estimation_two_cases(benchmark, show):
+    result = benchmark.pedantic(run_size_estimation, rounds=1, iterations=1)
+    show(result.table())
+    assert result.serialized_exact
+    assert not result.multiplexed_exact

@@ -1,0 +1,30 @@
+"""E8 (extension): streaming traffic (paper Section VII).
+
+The paper's future-work direction: the serialization technique applies
+to HTTP/2 streaming.  Measures bitrate-ladder recovery under four
+conditions -- including the tail-residue analyzer, which reads the
+ladder passively once a VBR census is available.
+"""
+
+from benchmarks.conftest import bench_n
+from repro.experiments.streaming import run_streaming
+
+
+def test_streaming_ladder_recovery(benchmark, show):
+    n = max(4, bench_n(8) // 3)
+    result = benchmark.pedantic(lambda: run_streaming(n_sessions=n),
+                                rounds=1, iterations=1)
+    show(result.table())
+    by_name = {p.condition.split(" (")[0]: p for p in result.points}
+    sequential = by_name["sequential player"]
+    pipelined = by_name["pipelined player"]
+    attacked = by_name["pipelined + spacing attack"]
+    passive = by_name["pipelined + tail-residue analyzer"]
+    # Natural serialization leaks everything; multiplexing hides it;
+    # the attack (or the residue analyzer) takes it back.
+    assert sequential.rung_accuracy_pct > 90.0
+    assert pipelined.rung_accuracy_pct < 40.0
+    assert attacked.rung_accuracy_pct > 70.0
+    assert passive.rung_accuracy_pct > 70.0
+    # The active attack is visible in QoE; the passive analyzer is not.
+    assert attacked.rebuffer_events >= passive.rebuffer_events

@@ -1,0 +1,29 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables or figures and
+prints the measured-vs-paper comparison.  Repetition counts default to
+values that keep the whole suite around 10-20 minutes; set
+``REPRO_BENCH_N`` to scale them (e.g. 100 reproduces the paper's
+100-download experiments exactly).
+"""
+
+import os
+
+import pytest
+
+
+def bench_n(default: int) -> int:
+    """Loads per measurement point, overridable via REPRO_BENCH_N."""
+    value = os.environ.get("REPRO_BENCH_N")
+    return int(value) if value else default
+
+
+@pytest.fixture
+def show():
+    """Print a result table under the benchmark output."""
+
+    def _show(table) -> None:
+        text = table.to_text() if hasattr(table, "to_text") else str(table)
+        print("\n" + text + "\n")
+
+    return _show

@@ -1,0 +1,28 @@
+#!/usr/bin/env python
+"""ML traffic analysis: reading the survey answer from encrypted bytes.
+
+Runs the E7a experiment at small scale: the adversary's deterministic
+decode under the full attack, generic classifiers on partly multiplexed
+(jitter-only) traces, and the no-adversary control -- plus the classic
+page-fingerprinting attack over HTTP/1.1 vs HTTP/2.
+
+Run:  python examples/fingerprint_ml.py
+"""
+
+from repro.experiments.fingerprinting import run_fingerprinting
+
+
+def main() -> None:
+    print("Building trace datasets and cross-validating classifiers")
+    print("(a few minutes of simulated page loads) ...\n")
+    result = run_fingerprinting(n_loads=32, n_pages=6, loads_per_page=5)
+    print(result.table().to_text())
+    print(
+        "\nReading: with the serialization attack the survey answer is"
+        "\nreadable from ciphertext sizes alone; without the adversary"
+        "\nHTTP/2 multiplexing keeps classifiers near chance."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Section IV walk-through: how each network knob affects multiplexing.
+
+Reproduces the paper's exploration order -- uniform delay (no effect),
+jitter (helps until the retransmission storm), bandwidth throttling
+(damps the storm), targeted drops (forces the reset) -- each with a
+handful of loads so the script finishes in about a minute.
+
+Run:  python examples/network_conditions.py
+"""
+
+from repro import SessionConfig, run_session
+from repro.core.phases import (
+    AttackConfig,
+    jitter_only_config,
+    uniform_delay_config,
+)
+from repro.website.isidewith import HTML_PATH
+
+N = 10
+
+
+def measure(label, make_config, mutate=None):
+    nonmux = 0
+    retx = 0
+    for i in range(N):
+        config = make_config(i)
+        result = run_session(config)
+        retx += result.retransmissions
+        try:
+            nonmux += result.degree(HTML_PATH) == 0.0
+        except KeyError:
+            pass
+    print(f"  {label:38s} HTML non-mux {100 * nonmux / N:5.1f}%   "
+          f"retx/load {retx / N:6.2f}")
+
+
+def main() -> None:
+    print(f"Effect of network parameters on HTTP/2 multiplexing ({N} loads each)\n")
+
+    print("IV-A: uniform delay cannot change inter-arrival times")
+    measure("baseline (no interference)", lambda i: SessionConfig(seed=i))
+    measure("uniform 50 ms delay", lambda i: SessionConfig(
+        seed=i, attack=uniform_delay_config(0.05)))
+
+    print("\nIV-B: jitter spaces requests apart")
+    for jitter_ms in (25, 50, 100):
+        measure(f"jitter {jitter_ms} ms per GET", lambda i, j=jitter_ms:
+                SessionConfig(seed=i, attack=jitter_only_config(j / 1000.0)))
+
+    print("\nIV-D: the full pipeline (jitter + throttle + drop burst)")
+    measure("full Section V attack", lambda i: SessionConfig(
+        seed=i, attack=AttackConfig()))
+
+
+if __name__ == "__main__":
+    main()

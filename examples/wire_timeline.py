@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Visualize multiplexing vs the attack's serialization.
+
+Renders the server's transmission log as an ASCII Gantt chart for a
+clean load (objects overlap: multiplexed) and an attacked load (the
+post-reset staircase), focusing on the emblem-image window.
+
+Run:  python examples/wire_timeline.py [seed]
+"""
+
+import sys
+
+from repro import AttackConfig, SessionConfig, run_session
+from repro.experiments.viz import degree_summary, wire_timeline
+from repro.website.isidewith import HTML_PATH, IsideWithSite
+
+
+def image_window(result):
+    times = [e.time for e in result.tx_log
+             if e.is_data and "emblem" in e.object_path]
+    return (min(times) - 0.3, max(times) + 0.3) if times else (0.0, None)
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 2
+
+    print("=== clean load (no adversary): the images multiplex ===")
+    clean = run_session(SessionConfig(seed=seed))
+    since, until = image_window(clean)
+    print(wire_timeline(clean.tx_log, since=since, until=until))
+    image_paths = [IsideWithSite.image_path(p) for p in clean.permutation]
+    print(degree_summary(clean.tx_log, [HTML_PATH] + image_paths))
+
+    print("\n=== attacked load: the post-reset staircase ===")
+    attacked = run_session(SessionConfig(seed=seed, attack=AttackConfig()))
+    since, until = image_window(attacked)
+    print(wire_timeline(attacked.tx_log, since=since, until=until))
+    image_paths = [IsideWithSite.image_path(p) for p in attacked.permutation]
+    print(degree_summary(attacked.tx_log, [HTML_PATH] + image_paths))
+
+
+if __name__ == "__main__":
+    main()

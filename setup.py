@@ -1,0 +1,7 @@
+"""Setup shim for environments whose setuptools predates PEP 660 editable
+installs (no `wheel` available offline); `pip install -e .` falls back to
+the legacy `setup.py develop` path through this file."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,61 @@
+"""Stratified cross-validation utilities."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+
+def stratified_folds(y: np.ndarray, n_folds: int, seed: int = 0,
+                     ) -> List[np.ndarray]:
+    """Index arrays for ``n_folds`` label-balanced folds."""
+    y = np.asarray(y)
+    rng = np.random.default_rng(seed)
+    folds: List[List[int]] = [[] for _ in range(n_folds)]
+    for label in np.unique(y):
+        indices = np.nonzero(y == label)[0]
+        rng.shuffle(indices)
+        for i, index in enumerate(indices):
+            folds[i % n_folds].append(int(index))
+    return [np.array(sorted(f)) for f in folds]
+
+
+def cross_validate(make_classifier: Callable, X: np.ndarray, y: np.ndarray,
+                   n_folds: int = 5, seed: int = 0) -> Dict[str, float]:
+    """k-fold accuracy of ``make_classifier()`` instances.
+
+    Returns mean/std/min accuracy over folds.
+    """
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y)
+    folds = stratified_folds(y, n_folds, seed)
+    scores = []
+    for i, test_index in enumerate(folds):
+        if len(test_index) == 0:
+            continue
+        train_mask = np.ones(len(y), dtype=bool)
+        train_mask[test_index] = False
+        classifier = make_classifier()
+        classifier.fit(X[train_mask], y[train_mask])
+        scores.append(classifier.score(X[test_index], y[test_index]))
+    scores = np.array(scores)
+    return {
+        "mean_accuracy": float(scores.mean()),
+        "std_accuracy": float(scores.std()),
+        "min_accuracy": float(scores.min()),
+        "folds": int(len(scores)),
+    }
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray,
+                     ) -> Tuple[np.ndarray, np.ndarray]:
+    """(labels, matrix) with rows=true, columns=predicted."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    labels = np.unique(np.concatenate([y_true, y_pred]))
+    index = {label: i for i, label in enumerate(labels)}
+    matrix = np.zeros((len(labels), len(labels)), dtype=int)
+    for t, p in zip(y_true, y_pred):
+        matrix[index[t], index[p]] += 1
+    return labels, matrix

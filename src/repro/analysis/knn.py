@@ -1,0 +1,56 @@
+"""k-nearest-neighbours classifier (numpy, standardized Euclidean).
+
+kNN on trace features is the classic website-fingerprinting attack
+(Wang et al. style) the paper's related work builds on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class KNeighborsClassifier:
+    """Majority vote among the k nearest training points."""
+
+    def __init__(self, k: int = 3):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self._X: Optional[np.ndarray] = None
+        self._y: Optional[np.ndarray] = None
+        self._mean: Optional[np.ndarray] = None
+        self._scale: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNeighborsClassifier":
+        """Store (standardized) training data."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        if X.ndim != 2 or len(X) != len(y):
+            raise ValueError("X must be 2-D and aligned with y")
+        self._mean = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0] = 1.0
+        self._scale = scale
+        self._X = (X - self._mean) / self._scale
+        self._y = y
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted label per row."""
+        if self._X is None:
+            raise RuntimeError("fit() before predict()")
+        X = (np.asarray(X, dtype=float) - self._mean) / self._scale
+        predictions = []
+        k = min(self.k, len(self._X))
+        for row in X:
+            distances = np.linalg.norm(self._X - row, axis=1)
+            nearest = np.argsort(distances, kind="stable")[:k]
+            labels, counts = np.unique(self._y[nearest], return_counts=True)
+            predictions.append(labels[np.argmax(counts)])
+        return np.array(predictions)
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Accuracy on a labelled set."""
+        return float(np.mean(self.predict(X) == np.asarray(y)))

@@ -1,0 +1,14 @@
+"""Browser model.
+
+Executes :class:`~repro.website.sitemap.PageLoadPlan` scripts over an
+HTTP/2 client with the behaviours the paper's attack depends on:
+speculative parsing (embedded requests while the HTML is still
+arriving), JS-triggered request bursts after the HTML completes, and a
+stall detector that resets pending streams with ``RST_STREAM`` and
+re-requests missing objects -- the reaction the targeted-drop phase of
+the attack provokes.
+"""
+
+from repro.browser.browser import Browser, BrowserConfig, PageLoadResult, RequestEvent
+
+__all__ = ["Browser", "BrowserConfig", "PageLoadResult", "RequestEvent"]

@@ -1,0 +1,297 @@
+"""Page-load engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.http2.client import ClientStream, Http2Client
+from repro.website.sitemap import PageLoadPlan, PlannedRequest
+
+
+@dataclass
+class BrowserConfig:
+    """Client-side behaviour knobs (Firefox-like defaults)."""
+
+    #: Stall window: the channel is considered dead when less than
+    #: ``stall_min_bytes`` arrived over the last ``stall_timeout_s``
+    #: while requests are outstanding; the browser then resets its
+    #: pending streams (the Section IV-D behaviour -- a trickle of
+    #: leaked retransmissions must not keep a dead-looking page alive).
+    stall_timeout_s: float = 3.0
+    #: Below ~8 KB/s the page is effectively dead: a trickle of leaked
+    #: retransmissions through an 80 % drop burst must not count as
+    #: progress, or the browser never resets and never re-requests.
+    stall_min_bytes: int = 24_576
+    stall_check_interval_s: float = 0.25
+    #: Pause after a reset before re-requesting missing objects.
+    reset_backoff_s: float = 0.5
+    #: Gap between consecutive re-requests.
+    rerequest_gap_s: float = 0.02
+    #: Resets tolerated before declaring the load broken.
+    max_resets: int = 3
+    page_timeout_s: float = 30.0
+
+
+@dataclass
+class RequestEvent:
+    """One GET issued by the browser (ground truth for evaluation)."""
+
+    time: float
+    path: str
+    stream_id: int
+    is_rerequest: bool = False
+
+
+@dataclass
+class PageLoadResult:
+    """Outcome of one page load."""
+
+    success: bool
+    broken: bool
+    duration_s: float
+    resets: int
+    requests: List[RequestEvent]
+    completed_paths: List[str]
+    plan: PageLoadPlan
+
+    @property
+    def permutation(self):
+        return self.plan.meta.get("permutation")
+
+
+class Browser:
+    """Drives one page load over one HTTP/2 connection."""
+
+    def __init__(self, sim, client: Http2Client, plan: PageLoadPlan,
+                 config: Optional[BrowserConfig] = None,
+                 on_done: Optional[Callable[[PageLoadResult], None]] = None):
+        self.sim = sim
+        self.client = client
+        self.plan = plan
+        self.config = config or BrowserConfig()
+        self.on_done = on_done
+
+        self._needed: Set[str] = set(plan.uncached_paths())
+        self._completed: List[str] = []
+        self._requests: List[RequestEvent] = []
+        self._weights: Dict[str, int] = {r.path: r.weight
+                                         for r in plan.all_requests()}
+        self._resets = 0
+        self._scripted_fired = False
+        self._head_fired = False
+        self._body_fired = False
+        self._finished = False
+        self._started_at = 0.0
+        self._progress_history: List = []
+        self._stall_timer = None
+        self._timeout_timer = None
+        self.result: Optional[PageLoadResult] = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin the load: connect, then run the plan."""
+        self._started_at = self.sim.now
+        self._timeout_timer = self.sim.schedule(self.config.page_timeout_s,
+                                                self._on_page_timeout)
+        self.client.connect(self._on_connected)
+
+    def _on_connected(self) -> None:
+        self.client.on_push = self._on_push
+        self._schedule_phase(self.plan.initial, self._after_initial)
+        self._stall_timer = self.sim.schedule(
+            self.config.stall_check_interval_s, self._check_stalls)
+
+    def _on_push(self, stream) -> None:
+        """A server-pushed stream satisfies its path like a response."""
+        stream.on_complete = self._on_stream_complete
+
+    def _after_initial(self) -> None:
+        self.sim.schedule(self.plan.html.gap_s, self._request_html)
+
+    def _request_html(self) -> None:
+        if self._finished:
+            return
+        self._issue(self.plan.html, html=True)
+        # Preload hints fire with the document request, before any HTML
+        # bytes arrive.
+        self._schedule_phase(self.plan.preload)
+
+    # -- request plumbing --------------------------------------------------------
+
+    def _schedule_phase(self, requests: List[PlannedRequest],
+                        after: Optional[Callable[[], None]] = None,
+                        rerequest: bool = False) -> None:
+        """Issue a phase's requests sequentially, honouring gaps."""
+        pending = [r for r in requests if not r.cached]
+
+        def issue_next(index: int) -> None:
+            if self._finished:
+                return
+            if index >= len(pending):
+                if after is not None:
+                    after()
+                return
+            request = pending[index]
+            self._issue(request, is_rerequest=rerequest)
+            next_gap = (pending[index + 1].gap_s
+                        if index + 1 < len(pending) else 0.0)
+            self.sim.schedule(next_gap, issue_next, index + 1)
+
+        if not pending:
+            if after is not None:
+                after()
+            return
+        self.sim.schedule(pending[0].gap_s, issue_next, 0)
+
+    def _issue(self, request: PlannedRequest, html: bool = False,
+               is_rerequest: bool = False) -> ClientStream:
+        stream = self.client.request(
+            request.path, weight=request.weight,
+            on_complete=self._on_stream_complete)
+        self._requests.append(RequestEvent(
+            time=self.sim.now, path=request.path,
+            stream_id=stream.stream_id, is_rerequest=is_rerequest))
+        if html or request.path == self.plan.html.path:
+            stream.on_first_byte = self._on_html_first_byte
+            stream.on_progress = self._on_html_progress
+        return stream
+
+    # -- HTML-driven triggers ----------------------------------------------------
+
+    def _on_html_first_byte(self, _stream: ClientStream) -> None:
+        if not self._head_fired:
+            self._head_fired = True
+            self._schedule_phase(self.plan.head_resources)
+
+    def _on_html_progress(self, stream: ClientStream) -> None:
+        if self._body_fired or stream.content_length is None:
+            return
+        if stream.bytes_received * 2 >= stream.content_length:
+            self._body_fired = True
+            self._schedule_phase(self.plan.body_resources)
+
+    def _on_stream_complete(self, stream: ClientStream) -> None:
+        if self._finished:
+            return
+        if stream.path in self._needed and stream.path not in self._completed:
+            self._completed.append(stream.path)
+        if stream.path == self.plan.html.path and not self._scripted_fired:
+            self._scripted_fired = True
+            self.sim.schedule(self.plan.exec_delay_s, self._fire_scripted)
+        self._maybe_finish()
+
+    def _fire_scripted(self) -> None:
+        if self._finished:
+            return
+        missing = [r for r in self.plan.scripted
+                   if r.path not in self._completed]
+        self._schedule_phase(missing)
+
+    # -- stall handling (RST_STREAM + re-request) -----------------------------------
+
+    def _check_stalls(self) -> None:
+        if self._finished:
+            return
+        self._stall_timer = self.sim.schedule(
+            self.config.stall_check_interval_s, self._check_stalls)
+        if self.client.broken:
+            self._finish(broken=True)
+            return
+        now = self.sim.now
+        total_bytes = sum(s.bytes_received for s in self.client.streams.values())
+        self._progress_history.append((now, total_bytes))
+        cutoff = now - self.config.stall_timeout_s
+        while len(self._progress_history) > 1 and self._progress_history[1][0] <= cutoff:
+            self._progress_history.pop(0)
+
+        pending = self.client.pending_streams()
+        if not pending:
+            return
+        # Connection-level stall: reset only when the whole connection's
+        # throughput over the window is negligible (the channel looks
+        # dead, as under the paper's drop burst).  A queued request on a
+        # healthy connection just waits, as real browsers with ~90 s
+        # request timeouts do; and a trickle of leaked packets from an
+        # 80 % drop burst must not count as life.
+        window_start_time, window_start_bytes = self._progress_history[0]
+        if now - window_start_time < self.config.stall_timeout_s:
+            return
+        if total_bytes - window_start_bytes >= self.config.stall_min_bytes:
+            return
+        oldest_pending = min(s.requested_at for s in pending)
+        if now - oldest_pending < self.config.stall_timeout_s:
+            return
+        if self._resets >= self.config.max_resets:
+            self._finish(broken=True)
+            return
+        self._resets += 1
+        for stream in pending:
+            self.client.reset_stream(stream)
+        self.sim.schedule(self.config.reset_backoff_s, self._rerequest_missing)
+
+    def _rerequest_missing(self) -> None:
+        if self._finished:
+            return
+        requested_before = {event.path for event in self._requests}
+        missing = [path for path in self._ordered_needed()
+                   if path in requested_before
+                   and path not in self._completed
+                   and not self._has_pending_stream(path)]
+        requests = [
+            PlannedRequest(path=path,
+                           gap_s=0.0 if i == 0 else self.config.rerequest_gap_s,
+                           weight=self._weights.get(path, 16))
+            for i, path in enumerate(missing)
+        ]
+        self._schedule_phase(requests, rerequest=True)
+
+    def _ordered_needed(self) -> List[str]:
+        """Missing-object re-request order: document, scripted, the rest."""
+        order: List[str] = []
+        if self.plan.html.path in self._needed:
+            order.append(self.plan.html.path)
+        for request in self.plan.scripted:
+            if not request.cached:
+                order.append(request.path)
+        for path in self._needed:
+            if path not in order:
+                order.append(path)
+        return order
+
+    def _has_pending_stream(self, path: str) -> bool:
+        return any(s.path == path for s in self.client.pending_streams())
+
+    # -- completion ----------------------------------------------------------------
+
+    def _maybe_finish(self) -> None:
+        if self._finished:
+            return
+        # The scripted phase may not have fired yet even though every
+        # already-issued request completed; only finish once every needed
+        # path is done.
+        if all(path in self._completed for path in self._needed):
+            self._finish(broken=False)
+
+    def _on_page_timeout(self) -> None:
+        if not self._finished:
+            self._finish(broken=True)
+
+    def _finish(self, broken: bool) -> None:
+        self._finished = True
+        for timer in (self._stall_timer, self._timeout_timer):
+            if timer is not None:
+                timer.cancel()
+        success = all(path in self._completed for path in self._needed)
+        self.result = PageLoadResult(
+            success=success and not broken,
+            broken=broken,
+            duration_s=self.sim.now - self._started_at,
+            resets=self._resets,
+            requests=list(self._requests),
+            completed_paths=list(self._completed),
+            plan=self.plan,
+        )
+        if self.on_done is not None:
+            self.on_done(self.result)

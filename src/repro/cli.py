@@ -1,0 +1,128 @@
+"""Command-line interface: ``python -m repro <experiment> [options]``.
+
+Each subcommand regenerates one paper artefact and prints the
+measured-vs-paper table; ``attack`` runs a single annotated session.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _add_common(parser: argparse.ArgumentParser, default_n: int) -> None:
+    parser.add_argument("-n", "--loads", type=int, default=default_n,
+                        help=f"loads per measurement point "
+                             f"(default {default_n}; the paper used 100)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base seed (default 0)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Depending on HTTP/2 for Privacy? "
+                    "Good Luck!' (DSN 2020)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    attack = sub.add_parser("attack",
+                            help="run one attacked survey load (quickstart)")
+    attack.add_argument("--seed", type=int, default=7)
+
+    for name, default_n, help_text in (
+            ("baseline", 40, "E1: baseline multiplexing (no adversary)"),
+            ("table1", 30, "E2: Table I jitter sweep"),
+            ("figure5", 20, "E3: Fig. 5 bandwidth sweep"),
+            ("drops", 25, "E4: Section IV-D drop burst"),
+            ("table2", 40, "E5: Table II attack accuracy"),
+            ("defenses", 15, "E7b: defenses evaluation"),
+    ):
+        cmd = sub.add_parser(name, help=help_text)
+        _add_common(cmd, default_n)
+        if name == "table1":
+            cmd.add_argument("--style", choices=("spacing", "netem"),
+                             default="spacing")
+
+    sub.add_parser("size-estimation", help="E6: Fig. 1 micro-benchmark")
+
+    fingerprint = sub.add_parser("fingerprint",
+                                 help="E7a: ML classification of traces")
+    _add_common(fingerprint, 32)
+
+    streaming = sub.add_parser("streaming",
+                               help="E8 extension: streaming traffic")
+    _add_common(streaming, 8)
+
+    recovery = sub.add_parser("recovery-ablation",
+                              help="modern vs legacy TCP recovery")
+    _add_common(recovery, 15)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "attack":
+        _run_attack(args.seed)
+        return 0
+
+    if args.command == "baseline":
+        from repro.experiments.baseline import run_baseline
+        result = run_baseline(n_loads=args.loads, base_seed=args.seed)
+    elif args.command == "table1":
+        from repro.experiments.table1 import run_table1
+        result = run_table1(n_per_point=args.loads, base_seed=args.seed,
+                            style=args.style)
+    elif args.command == "figure5":
+        from repro.experiments.figure5 import run_figure5
+        result = run_figure5(n_per_point=args.loads, base_seed=args.seed)
+    elif args.command == "drops":
+        from repro.experiments.drops import run_drops
+        result = run_drops(n_per_point=args.loads, base_seed=args.seed)
+    elif args.command == "table2":
+        from repro.experiments.table2 import run_table2
+        result = run_table2(n_loads=args.loads, base_seed=args.seed)
+    elif args.command == "defenses":
+        from repro.experiments.defenses_eval import run_defenses
+        result = run_defenses(n_per_defense=args.loads, base_seed=args.seed)
+    elif args.command == "size-estimation":
+        from repro.experiments.size_estimation import run_size_estimation
+        result = run_size_estimation()
+    elif args.command == "fingerprint":
+        from repro.experiments.fingerprinting import run_fingerprinting
+        result = run_fingerprinting(n_loads=args.loads)
+    elif args.command == "streaming":
+        from repro.experiments.streaming import run_streaming
+        result = run_streaming(n_sessions=args.loads, base_seed=args.seed)
+    elif args.command == "recovery-ablation":
+        from repro.experiments.ablations import run_recovery_ablation
+        result = run_recovery_ablation(n_per_point=args.loads,
+                                       base_seed=args.seed)
+    else:  # pragma: no cover - argparse enforces the choices
+        raise SystemExit(2)
+
+    print(result.table().to_text())
+    return 0
+
+
+def _run_attack(seed: int) -> None:
+    from repro import AttackConfig, SessionConfig, run_session
+
+    result = run_session(SessionConfig(seed=seed, attack=AttackConfig()))
+    report = result.report
+    print("phases:")
+    for phase, when in sorted(report.phase_times.items(), key=lambda kv: kv[1]):
+        print(f"  {when:7.3f}s  {phase}")
+    print("adversary decoded:", report.predicted_labels)
+    print("ground truth     :", ["html"] + list(result.permutation))
+    party_sequence = [l for l in report.predicted_labels if l != "html"]
+    correct = sum(1 for i, party in enumerate(result.permutation)
+                  if i < len(party_sequence) and party_sequence[i] == party)
+    print(f"positions recovered: {correct}/8; resets={result.load.resets}; "
+          f"load {'ok' if result.load.success else 'FAILED'}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,142 @@
+"""Attack configuration and phase definitions (Section V).
+
+The full pipeline, in the paper's order:
+
+1. **SPACING** -- from attach time, hold client GETs ``spacing_s``
+   apart (50 ms in the paper) and count them.
+2. **DISRUPT** -- on the trigger GET (the 6th: the result HTML),
+   throttle the path (800 Mbps) and drop ``drop_rate`` of the
+   application packets on the server -> client path for
+   ``drop_duration_s`` (80 % for 6 s), forcing the client to
+   RST_STREAM everything.
+3. **SERIALIZE** -- after the burst, raise the spacing to
+   ``serialize_spacing_s`` (80 ms) so the re-requested HTML and the 8
+   consecutive emblem images are each served alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+
+class AttackPhase(Enum):
+    """Where the attack state machine currently is."""
+
+    IDLE = "idle"
+    SPACING = "spacing"
+    DISRUPT = "disrupt"
+    SERIALIZE = "serialize"
+    RELEASED = "released"
+
+
+@dataclass
+class AttackConfig:
+    """All knobs of the serialization attack.
+
+    Disabling pieces yields the paper's intermediate adversaries:
+    ``trigger_request_index=None`` gives the jitter-only adversary of
+    Table I; adding ``throttle_bps_at_start`` gives the Fig. 5 setup;
+    the defaults give the full Section V pipeline.
+    """
+
+    #: Phase-1 GET spacing; 0 disables spacing entirely.
+    spacing_s: float = 0.05
+    #: Phase-1 jitter implementation: "spacing" is the deterministic
+    #: hold-queue ramp ("first request by 0 ms, second by d ms, ...");
+    #: "netem" is tc-netem-style independent per-packet delay with
+    #: variation, which additionally reorders tightly spaced GETs (the
+    #: Table I measurement setup).  The serialize phase always uses the
+    #: deterministic ramp.
+    phase1_style: str = "spacing"
+    #: Variation fraction for the "netem" style.
+    netem_frac: float = 0.5
+    #: The Section IV-A negative control: constant extra delay on every
+    #: client->server packet (cannot change inter-arrival times).
+    uniform_delay_s: Optional[float] = None
+    #: Post-reset GET spacing (the 80 ms of Section V).
+    serialize_spacing_s: float = 0.08
+    #: Extra-wide spacing for the first few re-requests of each burst:
+    #: the re-served HTML is transmitted while the server's congestion
+    #: window is still recovering from the drop burst and needs a
+    #: longer quiet window than steady-state objects.
+    serialize_initial_gap_s: float = 0.30
+    serialize_initial_count: int = 2
+    #: Hold even the first re-request this long after the burst ends, so
+    #: the server finishes retransmitting the holes the burst left
+    #: behind before the re-served object goes on the wire -- otherwise
+    #: the recovery backlog convoys the re-serve into the next response.
+    serialize_warmup_s: float = 0.8
+    #: Which GET starts the disrupt phase; ``None`` = never (jitter only).
+    trigger_request_index: Optional[int] = 6
+    #: Throttle applied at attach time (the Fig. 5 experiment), if any.
+    throttle_bps_at_start: Optional[float] = None
+    #: Throttle applied at the trigger (the Section V pipeline), if any.
+    throttle_bps_at_trigger: Optional[float] = 800e6
+    throttle_backlog_s: float = 0.5
+    #: Targeted drop burst parameters (Section IV-D).
+    drop_rate: float = 0.8
+    drop_duration_s: float = 6.0
+    #: End the burst early when a GET appears after a quiet period --
+    #: the client's post-reset re-request (the paper's "number of
+    #: forwarded GET requests" stop criterion).  ``drop_duration_s``
+    #: stays as the timer fallback.
+    stop_drops_on_rerequest: bool = True
+    #: Minimum burst length before the re-request detector may fire.
+    min_drop_s: float = 1.0
+    #: Single-target mode: once this many GETs have been observed, stop
+    #: spacing so the rest of the load proceeds unhindered (keeps late
+    #: targets from suffering the retransmission storm).  ``None`` keeps
+    #: spacing active for the whole load (the all-objects attack).
+    release_spacing_after_request: Optional[int] = None
+    #: Size-match tolerance handed to the predictor.
+    size_tolerance: int = 400
+
+    def validate(self) -> None:
+        """Sanity-check knob ranges."""
+        if self.spacing_s < 0 or self.serialize_spacing_s < 0:
+            raise ValueError("spacing must be non-negative")
+        if not 0.0 <= self.drop_rate <= 1.0:
+            raise ValueError("drop_rate must be a probability")
+        if self.drop_duration_s < 0:
+            raise ValueError("drop_duration_s must be non-negative")
+        if (self.trigger_request_index is not None
+                and self.trigger_request_index < 1):
+            raise ValueError("trigger_request_index must be >= 1")
+        if self.phase1_style not in ("spacing", "netem"):
+            raise ValueError(f"unknown phase1_style {self.phase1_style!r}")
+        if not 0.0 <= self.netem_frac <= 1.0:
+            raise ValueError("netem_frac must be in [0, 1]")
+
+
+def uniform_delay_config(delay_s: float) -> AttackConfig:
+    """The Section IV-A adversary: constant delay only (no effect)."""
+    return AttackConfig(spacing_s=0.0, serialize_spacing_s=0.0,
+                        trigger_request_index=None,
+                        throttle_bps_at_trigger=None,
+                        uniform_delay_s=delay_s)
+
+
+def jitter_only_config(spacing_s: float,
+                       style: str = "spacing") -> AttackConfig:
+    """The Table I adversary: jitter only, no throttle, no drops."""
+    return AttackConfig(spacing_s=spacing_s, serialize_spacing_s=spacing_s,
+                        phase1_style=style,
+                        trigger_request_index=None,
+                        throttle_bps_at_trigger=None)
+
+
+def jitter_plus_throttle_config(spacing_s: float, throttle_bps: float,
+                                style: str = "spacing") -> AttackConfig:
+    """The Fig. 5 adversary: jitter plus a session-long throttle."""
+    return AttackConfig(spacing_s=spacing_s, serialize_spacing_s=spacing_s,
+                        phase1_style=style,
+                        trigger_request_index=None,
+                        throttle_bps_at_trigger=None,
+                        throttle_bps_at_start=throttle_bps)
+
+
+def full_attack_config() -> AttackConfig:
+    """The Section V pipeline with the paper's published parameters."""
+    return AttackConfig()

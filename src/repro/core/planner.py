@@ -1,0 +1,90 @@
+"""Attack planning: how much spacing does a target object need?
+
+Section IV-B: "The amount of jitter to be introduced should depend on
+the size of the object of interest, the time elapsed since the previous
+GET request, and the time interval before the issuance of the next GET
+request by the client under normal network conditions."
+
+These helpers compute that amount from the adversary's (coarse) model of
+the path: an object is safe from multiplexing when the next request
+reaches the server only after the object has fully drained, and the
+drain time of a cwnd-limited transfer is a small number of RTTs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+
+def drain_time_s(object_size: int, rtt_s: float, init_cwnd_bytes: int = 14_000,
+                 mss: int = 1400, server_think_s: float = 0.002) -> float:
+    """Estimated wire time of an object under slow start.
+
+    Doubling windows: the transfer needs ``ceil(log2(size/cwnd0 + 1))``
+    round trips.  A small server think time covers worker spawn and
+    first-chunk latency.
+    """
+    if object_size <= 0:
+        raise ValueError("object_size must be positive")
+    rounds = max(1, math.ceil(math.log2(object_size / init_cwnd_bytes + 1)))
+    return server_think_s + rounds * rtt_s
+
+
+def required_spacing_s(object_size: int, rtt_s: float,
+                       init_cwnd_bytes: int = 14_000,
+                       safety_factor: float = 1.5) -> float:
+    """Inter-request spacing that serializes an object of this size."""
+    return safety_factor * drain_time_s(object_size, rtt_s, init_cwnd_bytes)
+
+
+def plan_attack(census_sizes: Sequence[int], rtt_s: float,
+                trigger_request_index: int = 6,
+                init_cwnd_bytes: int = 14_000):
+    """Derive a full :class:`~repro.core.phases.AttackConfig` from the
+    adversary's knowledge: the site's object census and the path RTT
+    (measurable from the TCP/TLS handshake timing at the gateway).
+
+    * phase-1 spacing covers the *median* object (enough to untangle
+      typical bursts without holding the queue hostage),
+    * the serialize spacing covers the largest *object of interest*
+      style target (the upper quartile), with the initial gaps sized
+      for a post-reset server still in slow start.
+    """
+    from repro.core.phases import AttackConfig
+
+    if not census_sizes:
+        raise ValueError("empty census")
+    sizes = sorted(census_sizes)
+    median = sizes[len(sizes) // 2]
+    upper = sizes[(3 * len(sizes)) // 4]
+
+    spacing = required_spacing_s(median, rtt_s, init_cwnd_bytes)
+    serialize = required_spacing_s(upper, rtt_s, init_cwnd_bytes)
+    # Post-reset the server restarts from roughly one segment; size the
+    # first gaps for a quarter of the initial window.
+    initial_gap = required_spacing_s(upper, rtt_s,
+                                     max(init_cwnd_bytes // 4, 2800))
+    return AttackConfig(
+        spacing_s=round(spacing, 3),
+        serialize_spacing_s=round(serialize, 3),
+        serialize_initial_gap_s=round(max(initial_gap, 2 * serialize), 3),
+        trigger_request_index=trigger_request_index,
+    )
+
+
+def spacing_schedule(natural_gaps_s: Sequence[float],
+                     target_gap_s: float) -> List[float]:
+    """Per-request hold times achieving ``target_gap_s`` spacing.
+
+    Given the natural inter-request gaps (Table II rows 1-2), request
+    ``k`` must be held ``max(0, k*d - sum(natural gaps up to k))`` --
+    the paper's "first request delayed by 0 ms, second by d ms, third by
+    2d ms" rule, corrected for time the client already spent.
+    """
+    holds: List[float] = [0.0]
+    elapsed = 0.0
+    for k, gap in enumerate(natural_gaps_s, start=1):
+        elapsed += gap
+        holds.append(max(0.0, k * target_gap_s - elapsed))
+    return holds

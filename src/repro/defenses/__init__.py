@@ -1,0 +1,28 @@
+"""Defenses against the serialization attack.
+
+Implements the classic size-obfuscation defenses from the literature the
+paper cites (padding, morphing) and the paper's own future-work
+proposals (randomized request order / priorities, server push):
+
+* :mod:`repro.defenses.padding` -- bucket and exponential padding,
+* :mod:`repro.defenses.morphing` -- distribution-targeted morphing,
+* :mod:`repro.defenses.random_order` -- per-load image-order shuffling,
+* :mod:`repro.defenses.push` -- push-the-images-with-the-HTML,
+* :mod:`repro.defenses.batching` -- single-record request batching
+  (un-spaceable GET bursts).
+"""
+
+from repro.defenses.batching import BatchingBrowser
+from repro.defenses.morphing import MorphingDefense
+from repro.defenses.padding import bucket_padding, exponential_padding
+from repro.defenses.push import push_defense_server_config
+from repro.defenses.random_order import shuffle_scripted_requests
+
+__all__ = [
+    "BatchingBrowser",
+    "MorphingDefense",
+    "bucket_padding",
+    "exponential_padding",
+    "push_defense_server_config",
+    "shuffle_scripted_requests",
+]

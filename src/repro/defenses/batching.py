@@ -1,0 +1,57 @@
+"""Request-batching defense (client-side, protocol-level).
+
+The serialization attack's jitter phase works by holding individual
+GET-carrying packets apart.  If the client writes all its burst
+requests into a *single* TLS record (HTTP/2 allows many HEADERS frames
+per record), the whole burst rides one TCP segment and there is nothing
+for an on-path spacing queue to separate: the requests reach the server
+simultaneously no matter what per-packet delays the gateway applies,
+and the multi-worker server multiplexes the responses as usual.
+
+This countermeasure emerged from the reproduction itself: while
+calibrating the attack we found that client-side congestion collapse
+accidentally coalesced GETs into shared segments and defeated the
+spacing (see DESIGN.md).  Done deliberately, it is free -- no padding
+overhead, no order shuffling -- though it only protects bursts the
+application can batch, and the targeted-drop/reset phase must still be
+answered separately (re-requests after a reset must be batched too,
+which :class:`BatchingBrowser` does).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.browser.browser import Browser
+from repro.website.sitemap import PlannedRequest
+
+
+class BatchingBrowser(Browser):
+    """A browser that issues each request phase as one batched record."""
+
+    def _schedule_phase(self, requests: List[PlannedRequest],
+                        after=None, rerequest: bool = False) -> None:
+        pending = [r for r in requests if not r.cached]
+        if not pending:
+            if after is not None:
+                after()
+            return
+
+        def fire() -> None:
+            if self._finished:
+                return
+            from repro.browser.browser import RequestEvent
+            streams = self.client.request_batch(
+                [r.path for r in pending],
+                on_complete=self._on_stream_complete)
+            for request, stream in zip(pending, streams):
+                self._requests.append(RequestEvent(
+                    time=self.sim.now, path=request.path,
+                    stream_id=stream.stream_id, is_rerequest=rerequest))
+                if request.path == self.plan.html.path:
+                    stream.on_first_byte = self._on_html_first_byte
+                    stream.on_progress = self._on_html_progress
+            if after is not None:
+                after()
+
+        self.sim.schedule(pending[0].gap_s, fire)

@@ -1,0 +1,35 @@
+"""Traffic morphing: make every object's size mimic a cover distribution.
+
+Wright et al.'s morphing idea, reduced to the response-size channel:
+each served object is padded to a size drawn from a target distribution
+conditioned on being at least the true size, so repeated loads of the
+same object show different sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+
+class MorphingDefense:
+    """Sampled-size padding hook.
+
+    ``cover_sizes`` are sizes from the cover distribution (e.g. the
+    site's own object census); each serve picks a cover size uniformly
+    among those >= the true size (or pads 25 % when none qualifies).
+    """
+
+    def __init__(self, cover_sizes: Sequence[int]):
+        if not cover_sizes:
+            raise ValueError("cover_sizes must be non-empty")
+        self.cover_sizes = sorted(cover_sizes)
+
+    def __call__(self, size: int, rng) -> int:
+        candidates = [s for s in self.cover_sizes if s >= size]
+        if not candidates:
+            return int(size * 1.25)
+        return rng.choice(candidates)
+
+    def pad_object(self) -> Callable:
+        """The hook for :class:`~repro.http2.server.Http2ServerConfig`."""
+        return self

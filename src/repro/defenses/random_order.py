@@ -1,0 +1,33 @@
+"""The paper's future-work defense: randomized request order.
+
+Section VII: "the client can opt for a different priority/order of
+object delivery every time, thereby confusing the adversary."  Even if
+the adversary serializes every image and recovers every size, the wire
+order no longer reveals the user's preference order.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.website.sitemap import PageLoadPlan, PlannedRequest
+
+
+def shuffle_scripted_requests(plan: PageLoadPlan, rng) -> PageLoadPlan:
+    """Shuffle the scripted (JS-driven) request order in place.
+
+    Gap values stay attached to positions, not objects, so the timing
+    pattern is unchanged -- only the order of identities moves.  The
+    shuffled plan keeps ground truth (``meta['permutation']``) intact
+    for evaluation; ``meta['wire_order']`` records what the adversary
+    can at best recover.
+    """
+    scripted: List[PlannedRequest] = list(plan.scripted)
+    gaps = [r.gap_s for r in scripted]
+    rng.shuffle(scripted)
+    plan.scripted = [
+        PlannedRequest(path=r.path, gap_s=gap, weight=r.weight, cached=r.cached)
+        for r, gap in zip(scripted, gaps)
+    ]
+    plan.meta["wire_order"] = tuple(r.path for r in plan.scripted)
+    return plan

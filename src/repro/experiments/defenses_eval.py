@@ -1,0 +1,107 @@
+"""E7b -- defenses against the serialization attack (Section VII).
+
+Runs the full attack against: no defense, bucket padding, morphing,
+randomized image order (the paper's proposal), and server push, and
+reports how much of the preference order survives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.phases import AttackConfig
+from repro.defenses.morphing import MorphingDefense
+from repro.defenses.padding import bucket_padding
+from repro.defenses.push import push_client_settings, push_defense_server_config
+from repro.defenses.random_order import shuffle_scripted_requests
+from repro.experiments.evaluation import sequence_accuracy
+from repro.experiments.results import ResultTable
+from repro.experiments.session import SessionConfig, run_session
+from repro.http2.server import Http2ServerConfig
+from repro.website.isidewith import (
+    HTML_PATH,
+    PARTY_IMAGE_SIZES,
+    build_isidewith_site,
+)
+
+
+@dataclass
+class DefenseOutcome:
+    """Attack effectiveness under one defense."""
+
+    name: str
+    sequence_accuracy_pct: float
+    html_identified_pct: float
+    load_success_pct: float
+
+
+@dataclass
+class DefensesResult:
+    """All defenses side by side."""
+
+    n_per_defense: int
+    outcomes: List[DefenseOutcome]
+
+    def table(self) -> ResultTable:
+        table = ResultTable(
+            "E7b: attack vs defenses (sequence recovery)",
+            ["defense", "order recovered (%)", "HTML identified (%)",
+             "page loads ok (%)"])
+        for outcome in self.outcomes:
+            table.add_row(outcome.name, outcome.sequence_accuracy_pct,
+                          outcome.html_identified_pct,
+                          outcome.load_success_pct)
+        return table
+
+
+def _session_config(seed: int, defense: str) -> SessionConfig:
+    config = SessionConfig(seed=seed, attack=AttackConfig())
+    if defense == "padding":
+        server = Http2ServerConfig()
+        server.pad_object = bucket_padding(16_384)
+        config.server = server
+    elif defense == "morphing":
+        server = Http2ServerConfig()
+        server.pad_object = MorphingDefense(
+            sorted(PARTY_IMAGE_SIZES.values())).pad_object()
+        config.server = server
+    elif defense == "random-order":
+        config.plan_transform = shuffle_scripted_requests
+    elif defense == "push":
+        site = build_isidewith_site()
+        config.server = push_defense_server_config(site)
+        config.client_settings = push_client_settings()
+    elif defense == "batching":
+        from repro.defenses.batching import BatchingBrowser
+        config.browser_class = BatchingBrowser
+    elif defense != "none":
+        raise ValueError(f"unknown defense {defense!r}")
+    return config
+
+
+DEFENSES = ("none", "padding", "morphing", "random-order", "push",
+            "batching")
+
+
+def run_defenses(n_per_defense: int = 30, base_seed: int = 0,
+                 defenses=DEFENSES) -> DefensesResult:
+    """Run the attack under each defense."""
+    outcomes: List[DefenseOutcome] = []
+    for defense in defenses:
+        sequence_total = 0.0
+        html_identified = 0
+        load_ok = 0
+        for i in range(n_per_defense):
+            result = run_session(_session_config(base_seed + i, defense))
+            sequence_total += sequence_accuracy(result)
+            if result.report is not None:
+                html_identified += "html" in result.report.predicted_labels
+            load_ok += (result.load is not None and result.load.success)
+        outcomes.append(DefenseOutcome(
+            name=defense,
+            sequence_accuracy_pct=100.0 * sequence_total / n_per_defense,
+            html_identified_pct=100.0 * html_identified / n_per_defense,
+            load_success_pct=100.0 * load_ok / n_per_defense,
+        ))
+    return DefensesResult(n_per_defense=n_per_defense, outcomes=outcomes)

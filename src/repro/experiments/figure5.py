@@ -1,0 +1,91 @@
+"""E3 -- Figure 5: effect of bandwidth limitation (Section IV-C).
+
+The paper throttles the gateway to 1000 / 800 / 500 / 100 / 1 Mbps with
+50 ms jitter active and observes (a) retransmissions falling
+monotonically as bandwidth drops, and (b) the fraction of loads with the
+HTML non-multiplexed peaking around 800 Mbps and degrading toward
+1 Mbps, where connections start breaking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.phases import jitter_plus_throttle_config
+from repro.experiments.results import ResultTable
+from repro.experiments.session import SessionConfig, run_session
+from repro.website.isidewith import HTML_PATH
+
+#: The paper's bandwidth points (bits per second).
+BANDWIDTH_VALUES_BPS = (1_000e6, 800e6, 500e6, 100e6, 1e6)
+
+
+@dataclass
+class BandwidthPoint:
+    """Measurements at one throttle setting."""
+
+    bandwidth_bps: float
+    nonmux_pct: float
+    mean_retransmissions: float
+    broken_pct: float
+    mean_duration_s: float
+
+
+@dataclass
+class Figure5Result:
+    """The full bandwidth sweep."""
+
+    n_per_point: int
+    jitter_s: float
+    points: List[BandwidthPoint]
+
+    def table(self) -> ResultTable:
+        table = ResultTable(
+            f"E3 / Fig. 5: bandwidth sweep (jitter={self.jitter_s*1000:.0f} ms)",
+            ["bandwidth (Mbps)", "success/non-mux (%)", "retx/load",
+             "broken (%)", "load time (s)"])
+        for point in self.points:
+            table.add_row(
+                point.bandwidth_bps / 1e6,
+                point.nonmux_pct,
+                point.mean_retransmissions,
+                point.broken_pct,
+                point.mean_duration_s,
+            )
+        return table
+
+
+def run_figure5(n_per_point: int = 100, base_seed: int = 0,
+                jitter_s: float = 0.05,
+                bandwidths: Sequence[float] = BANDWIDTH_VALUES_BPS,
+                ) -> Figure5Result:
+    """Run the Fig. 5 sweep."""
+    points: List[BandwidthPoint] = []
+    for bandwidth in bandwidths:
+        nonmux = 0
+        observed = 0
+        retx = 0
+        broken = 0
+        duration = 0.0
+        for i in range(n_per_point):
+            attack = jitter_plus_throttle_config(jitter_s, bandwidth)
+            result = run_session(SessionConfig(seed=base_seed + i,
+                                               attack=attack))
+            retx += result.retransmissions
+            broken += result.broken
+            duration += result.duration_s
+            try:
+                nonmux += result.degree(HTML_PATH) == 0.0
+                observed += 1
+            except KeyError:
+                pass
+        points.append(BandwidthPoint(
+            bandwidth_bps=bandwidth,
+            nonmux_pct=100.0 * nonmux / max(1, observed),
+            mean_retransmissions=retx / n_per_point,
+            broken_pct=100.0 * broken / n_per_point,
+            mean_duration_s=duration / n_per_point,
+        ))
+    return Figure5Result(n_per_point=n_per_point, jitter_s=jitter_s,
+                         points=points)

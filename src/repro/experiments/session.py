@@ -1,0 +1,185 @@
+"""Single attack-session runner.
+
+One *session* is: one volunteer loads the survey result page through the
+compromised gateway while (optionally) the adversary runs its pipeline.
+The runner assembles the whole stack -- topology, server, client,
+browser, attack -- runs the simulation to completion, and returns every
+artefact the experiments need (capture, transmission log, attack report,
+load outcome).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.browser.browser import Browser, BrowserConfig, PageLoadResult
+from repro.core.adversary import AttackReport, Http2SerializationAttack
+from repro.core.metrics import degree_of_multiplexing, object_serialized
+from repro.core.phases import AttackConfig
+from repro.core.predictor import SizeIdentityMap
+from repro.http2.client import Http2Client, Http2ClientConfig
+from repro.http2.server import Http2Server, Http2ServerConfig
+from repro.simnet.engine import Simulator
+from repro.simnet.middlebox import CLIENT_TO_SERVER, SERVER_TO_CLIENT
+from repro.simnet.topology import StandardTopology, TopologyConfig
+from repro.tcp.connection import TcpConfig
+from repro.website.isidewith import HTML_PATH, HTML_SIZE, IsideWithSite, build_isidewith_site
+
+
+@dataclass
+class SessionConfig:
+    """Everything one session depends on."""
+
+    seed: int = 0
+    topology: TopologyConfig = field(default_factory=TopologyConfig)
+    server: Http2ServerConfig = field(default_factory=Http2ServerConfig)
+    browser: BrowserConfig = field(default_factory=BrowserConfig)
+    attack: Optional[AttackConfig] = None
+    #: Ground-truth party permutation; sampled from the seed when absent.
+    permutation: Optional[Sequence[str]] = None
+    #: Force warm/cold browser cache; sampled when absent.
+    warm: Optional[bool] = None
+    #: Wall-clock cap on the simulated session.
+    time_limit_s: float = 45.0
+    #: Site factory (defaults to the synthetic isidewith.com).
+    site_factory: Callable = build_isidewith_site
+    #: Page to load on sites with multiple pages (RandomSite).
+    page_id: int = 0
+    #: Optional defense hook applied to the page plan before the load
+    #: (e.g. :func:`repro.defenses.random_order.shuffle_scripted_requests`).
+    plan_transform: Optional[Callable] = None
+    #: Optional client HTTP/2 settings override (e.g. enable push).
+    client_settings: Optional[object] = None
+    #: TCP stack overrides (e.g. a legacy 2020-era stack without
+    #: TLP/RACK/F-RTO for the recovery ablation).
+    server_tcp: Optional[TcpConfig] = None
+    client_tcp: Optional[TcpConfig] = None
+    #: Browser implementation (e.g. the request-batching defense's
+    #: :class:`repro.defenses.batching.BatchingBrowser`).
+    browser_class: type = Browser
+
+
+@dataclass
+class SessionResult:
+    """Artefacts of one completed session."""
+
+    config: SessionConfig
+    load: Optional[PageLoadResult]
+    report: Optional[AttackReport]
+    tx_log: List
+    trace: object
+    attack: Optional[Http2SerializationAttack]
+    site: object
+    plan: object
+    client: object
+    server: object
+    duration_s: float
+    retransmissions_c2s: int
+    retransmissions_s2c: int
+
+    @property
+    def permutation(self):
+        return self.plan.meta.get("permutation")
+
+    @property
+    def warm(self) -> bool:
+        return bool(self.plan.meta.get("warm"))
+
+    @property
+    def broken(self) -> bool:
+        return self.load is None or self.load.broken
+
+    @property
+    def retransmissions(self) -> int:
+        return self.retransmissions_c2s + self.retransmissions_s2c
+
+    def degree(self, path: str) -> float:
+        """Ground-truth degree of multiplexing of an object's first serve."""
+        return degree_of_multiplexing(self.tx_log, path)
+
+    def serialized(self, path: str) -> bool:
+        """Ground truth: did the object cross the wire un-interleaved?"""
+        try:
+            return object_serialized(self.tx_log, path)
+        except KeyError:
+            return False
+
+
+def isidewith_size_map(site: IsideWithSite,
+                       tolerance: int = 400) -> SizeIdentityMap:
+    """The adversary's pre-compiled size -> identity map (Section V)."""
+    sizes = {HTML_SIZE: "html"}
+    for size, party in site.party_size_map().items():
+        sizes[size] = party
+    return SizeIdentityMap(sizes, tolerance=tolerance)
+
+
+def run_session(config: SessionConfig) -> SessionResult:
+    """Run one volunteer session end to end."""
+    sim = Simulator(seed=config.seed)
+    topo = StandardTopology(sim, config.topology)
+    site = config.site_factory()
+
+    server_tcp = config.server_tcp or TcpConfig(deliver_duplicates=True,
+                                                initial_ssthresh_bytes=48_000)
+    server = Http2Server(sim, topo.server, site, config.server,
+                         tcp_config=server_tcp)
+
+    attack: Optional[Http2SerializationAttack] = None
+    if config.attack is not None:
+        size_map = (isidewith_size_map(site, config.attack.size_tolerance)
+                    if isinstance(site, IsideWithSite) else None)
+        census = [obj.size for obj in site.objects.values()]
+        attack = Http2SerializationAttack(sim, topo.middlebox, topo.trace,
+                                          config.attack, size_map=size_map,
+                                          census_sizes=census)
+        attack.attach()
+
+    client_config = Http2ClientConfig(authority=site.authority)
+    if config.client_settings is not None:
+        client_config.settings = config.client_settings
+    client = Http2Client(sim, topo.client, server_addr="server", port=443,
+                         config=client_config,
+                         tcp_config=config.client_tcp
+                         or TcpConfig(deliver_duplicates=False))
+
+    plan_rng = sim.rng("plan")
+    if isinstance(site, IsideWithSite):
+        plan = site.plan_load(plan_rng, permutation=config.permutation,
+                              warm=config.warm)
+    else:
+        plan = site.plan_load(plan_rng, config.page_id)
+    if config.plan_transform is not None:
+        plan = config.plan_transform(plan, sim.rng("plan-transform"))
+
+    browser = config.browser_class(sim, client, plan, config.browser)
+    browser.start()
+
+    while browser.result is None and sim.now < config.time_limit_s:
+        sim.run(until=min(sim.now + 0.5, config.time_limit_s))
+    # Grace period: let in-flight packets land so the capture is complete.
+    sim.run(until=sim.now + 0.3)
+
+    trace = topo.trace
+    return SessionResult(
+        config=config,
+        load=browser.result,
+        report=attack.report() if attack is not None else None,
+        tx_log=server.combined_tx_log(),
+        trace=trace,
+        attack=attack,
+        site=site,
+        plan=plan,
+        client=client,
+        server=server,
+        duration_s=sim.now,
+        retransmissions_c2s=len(trace.retransmitted_packets(CLIENT_TO_SERVER)),
+        retransmissions_s2c=len(trace.retransmitted_packets(SERVER_TO_CLIENT)),
+    )
+
+
+def run_sessions(n: int, make_config: Callable[[int], SessionConfig],
+                 ) -> List[SessionResult]:
+    """Run ``n`` sessions with per-repetition configs (seeded by index)."""
+    return [run_session(make_config(i)) for i in range(n)]

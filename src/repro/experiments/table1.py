@@ -1,0 +1,110 @@
+"""E2 -- Table I: effect of jitter on HTTP/2 multiplexing.
+
+Paper numbers (object of interest = the 9500-byte result HTML):
+
+===============  ==========================  =====================
+delay/request    non-multiplexed cases (%)    retransmissions (+%)
+===============  ==========================  =====================
+0 ms (baseline)  32                           0
+25 ms            46                           ~33
+50 ms            54                           ~130
+100 ms           54                           ~194
+===============  ==========================  =====================
+
+Our gateway model offers two jitter implementations (see DESIGN.md):
+the deterministic spacing ramp (primary; reproduces the non-mux column)
+and netem-style independent delay (reproduces retransmission inflation
+at every level).  The harness reports both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.phases import jitter_only_config
+from repro.experiments.results import ResultTable
+from repro.experiments.session import SessionConfig, run_session
+from repro.website.isidewith import HTML_PATH
+
+#: The paper's jitter values (seconds).
+JITTER_VALUES_S = (0.0, 0.025, 0.05, 0.1)
+
+#: Paper's Table I for the comparison columns.
+PAPER_NONMUX_PCT = {0.0: 32, 0.025: 46, 0.05: 54, 0.1: 54}
+PAPER_RETX_INCREASE_PCT = {0.0: 0, 0.025: 33, 0.05: 130, 0.1: 194}
+
+
+@dataclass
+class JitterPoint:
+    """One jitter setting's measurements."""
+
+    jitter_s: float
+    nonmux_pct: float
+    mean_retransmissions: float
+    retx_increase_pct: float
+    broken_pct: float
+
+
+@dataclass
+class Table1Result:
+    """The full sweep for one jitter style."""
+
+    style: str
+    n_per_point: int
+    points: List[JitterPoint]
+
+    def table(self) -> ResultTable:
+        table = ResultTable(
+            f"E2 / Table I: jitter sweep (style={self.style})",
+            ["jitter (ms)", "non-mux (%)", "paper (%)",
+             "retx/load", "retx increase (%)", "paper (+%)"])
+        for point in self.points:
+            table.add_row(
+                int(point.jitter_s * 1000),
+                point.nonmux_pct,
+                PAPER_NONMUX_PCT.get(point.jitter_s, "-"),
+                point.mean_retransmissions,
+                point.retx_increase_pct,
+                PAPER_RETX_INCREASE_PCT.get(point.jitter_s, "-"),
+            )
+        return table
+
+
+def run_table1(n_per_point: int = 100, base_seed: int = 0,
+               style: str = "spacing",
+               jitter_values: Sequence[float] = JITTER_VALUES_S,
+               ) -> Table1Result:
+    """Run the Table I sweep for one jitter style."""
+    points: List[JitterPoint] = []
+    baseline_retx: Optional[float] = None
+    for jitter in jitter_values:
+        nonmux = 0
+        observed = 0
+        retx = 0
+        broken = 0
+        for i in range(n_per_point):
+            attack = jitter_only_config(jitter, style) if jitter > 0 else None
+            result = run_session(SessionConfig(seed=base_seed + i,
+                                               attack=attack))
+            retx += result.retransmissions
+            broken += result.broken
+            try:
+                nonmux += result.degree(HTML_PATH) == 0.0
+                observed += 1
+            except KeyError:
+                pass
+        mean_retx = retx / n_per_point
+        if baseline_retx is None:
+            baseline_retx = max(mean_retx, 0.01)
+            increase = 0.0
+        else:
+            increase = 100.0 * (mean_retx - baseline_retx) / baseline_retx
+        points.append(JitterPoint(
+            jitter_s=jitter,
+            nonmux_pct=100.0 * nonmux / max(1, observed),
+            mean_retransmissions=mean_retx,
+            retx_increase_pct=increase,
+            broken_pct=100.0 * broken / n_per_point,
+        ))
+    return Table1Result(style=style, n_per_point=n_per_point, points=points)

@@ -1,0 +1,64 @@
+"""ASCII timelines of object transmissions.
+
+Renders a server transmission log as one row per object and one column
+per time bucket -- the quickest way to *see* multiplexing (rows
+overlap) versus the attack's serialization (a staircase).  Used by the
+examples; handy when debugging calibrations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.metrics import serve_spans
+
+
+def wire_timeline(tx_log: Sequence, width: int = 88,
+                  since: float = 0.0, until: Optional[float] = None,
+                  max_rows: int = 30, label_width: int = 30) -> str:
+    """Render the transmission log as an ASCII Gantt chart.
+
+    Each row is one serve instance (duplicates marked ``*``); ``#``
+    cells carry that object's bytes.  Rows are ordered by first
+    transmission.
+    """
+    spans = [span for span in serve_spans(tx_log).values()
+             if span.end_time >= since
+             and (until is None or span.start_time <= until)]
+    if not spans:
+        return "(no transmissions in window)"
+    spans.sort(key=lambda span: span.start_time)
+    spans = spans[:max_rows]
+
+    t0 = min(span.start_time for span in spans)
+    t1 = max(span.end_time for span in spans)
+    t1 = max(t1, t0 + 1e-6)
+    scale = (width - 1) / (t1 - t0)
+
+    lines = [f"time {t0:.2f}s .. {t1:.2f}s "
+             f"({(t1 - t0):.2f}s across {width} columns)"]
+    for span in spans:
+        start = int((span.start_time - t0) * scale)
+        end = int((span.end_time - t0) * scale)
+        row = [" "] * width
+        for i in range(start, min(end + 1, width)):
+            row[i] = "#"
+        name = span.object_path.rsplit("/", 1)[-1][:label_width - 2]
+        marker = "*" if span.duplicate else " "
+        lines.append(f"{name:>{label_width}}{marker}|{''.join(row)}|")
+    return "\n".join(lines)
+
+
+def degree_summary(tx_log: Sequence, paths: Sequence[str]) -> str:
+    """One line per path: its first-serve degree of multiplexing."""
+    from repro.core.metrics import degree_of_multiplexing
+    lines = []
+    for path in paths:
+        try:
+            degree = degree_of_multiplexing(tx_log, path)
+        except KeyError:
+            lines.append(f"  {path}: (not served)")
+            continue
+        bar = "#" * int(degree * 20)
+        lines.append(f"  {path}: degree {degree * 100:5.1f}% |{bar:<20}|")
+    return "\n".join(lines)

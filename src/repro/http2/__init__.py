@@ -1,0 +1,56 @@
+"""HTTP/2 substrate (RFC 7540 subset).
+
+Implements the protocol machinery the paper's attack interacts with:
+frames, HPACK-style header compression, stream state machines, flow
+control, priorities, and -- most importantly -- the multi-worker server
+whose round-robin DATA scheduling produces the multiplexing the paper
+sets out to defeat, including the client's ``RST_STREAM`` behaviour the
+targeted-drop phase exploits.
+"""
+
+from repro.http2.client import ClientStream, Http2Client, Http2ClientConfig
+from repro.http2.connection import Http2Connection
+from repro.http2.errors import ErrorCode, Http2ProtocolError, StreamError
+from repro.http2.frames import (
+    DataFrame,
+    Frame,
+    GoAwayFrame,
+    HeadersFrame,
+    PingFrame,
+    PriorityFrame,
+    PushPromiseFrame,
+    RstStreamFrame,
+    SettingsFrame,
+    WindowUpdateFrame,
+)
+from repro.http2.hpack import HpackDecoder, HpackEncoder
+from repro.http2.server import Http2Server, Http2ServerConfig, TxEntry
+from repro.http2.settings import Http2Settings
+from repro.http2.stream import StreamState
+
+__all__ = [
+    "ClientStream",
+    "DataFrame",
+    "ErrorCode",
+    "Frame",
+    "GoAwayFrame",
+    "HeadersFrame",
+    "HpackDecoder",
+    "HpackEncoder",
+    "Http2Client",
+    "Http2ClientConfig",
+    "Http2Connection",
+    "Http2ProtocolError",
+    "Http2Server",
+    "Http2ServerConfig",
+    "Http2Settings",
+    "PingFrame",
+    "PriorityFrame",
+    "PushPromiseFrame",
+    "RstStreamFrame",
+    "SettingsFrame",
+    "StreamError",
+    "StreamState",
+    "TxEntry",
+    "WindowUpdateFrame",
+]

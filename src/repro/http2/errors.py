@@ -1,0 +1,42 @@
+"""HTTP/2 error codes and protocol exceptions (RFC 7540 section 7)."""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class ErrorCode(IntEnum):
+    """Wire error codes."""
+
+    NO_ERROR = 0x0
+    PROTOCOL_ERROR = 0x1
+    INTERNAL_ERROR = 0x2
+    FLOW_CONTROL_ERROR = 0x3
+    SETTINGS_TIMEOUT = 0x4
+    STREAM_CLOSED = 0x5
+    FRAME_SIZE_ERROR = 0x6
+    REFUSED_STREAM = 0x7
+    CANCEL = 0x8
+    COMPRESSION_ERROR = 0x9
+    CONNECT_ERROR = 0xA
+    ENHANCE_YOUR_CALM = 0xB
+    INADEQUATE_SECURITY = 0xC
+    HTTP_1_1_REQUIRED = 0xD
+
+
+class Http2ProtocolError(Exception):
+    """Connection-level protocol violation."""
+
+    def __init__(self, message: str, code: ErrorCode = ErrorCode.PROTOCOL_ERROR):
+        super().__init__(message)
+        self.code = code
+
+
+class StreamError(Exception):
+    """Stream-level violation (peer answers with RST_STREAM)."""
+
+    def __init__(self, stream_id: int, message: str,
+                 code: ErrorCode = ErrorCode.PROTOCOL_ERROR):
+        super().__init__(f"stream {stream_id}: {message}")
+        self.stream_id = stream_id
+        self.code = code

@@ -1,0 +1,184 @@
+"""HPACK-style header compression (RFC 7541 subset).
+
+The simulation does not move literal bytes, but request/response record
+sizes must be realistic because the adversary counts GET-carrying
+records and could in principle use their sizes.  This module implements
+the real HPACK size accounting: a static table, a dynamic table with
+entry eviction, indexed representations (1-2 bytes) and literal
+representations with incremental indexing, including the standard
+integer prefix encoding and an approximation of Huffman string
+compression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+#: Subset of the RFC 7541 Appendix A static table that web traffic hits.
+STATIC_TABLE: Tuple[Tuple[str, str], ...] = (
+    (":authority", ""),
+    (":method", "GET"),
+    (":method", "POST"),
+    (":path", "/"),
+    (":path", "/index.html"),
+    (":scheme", "http"),
+    (":scheme", "https"),
+    (":status", "200"),
+    (":status", "204"),
+    (":status", "206"),
+    (":status", "304"),
+    (":status", "400"),
+    (":status", "404"),
+    (":status", "500"),
+    ("accept-charset", ""),
+    ("accept-encoding", "gzip, deflate"),
+    ("accept-language", ""),
+    ("accept", ""),
+    ("cache-control", ""),
+    ("content-length", ""),
+    ("content-type", ""),
+    ("cookie", ""),
+    ("date", ""),
+    ("etag", ""),
+    ("host", ""),
+    ("referer", ""),
+    ("server", ""),
+    ("user-agent", ""),
+)
+
+#: RFC 7541: dynamic-table entry overhead.
+ENTRY_OVERHEAD = 32
+#: Approximate Huffman compaction ratio for header strings.
+HUFFMAN_RATIO = 0.8
+
+
+def _integer_size(value: int, prefix_bits: int) -> int:
+    """Bytes needed by the HPACK integer encoding."""
+    limit = (1 << prefix_bits) - 1
+    if value < limit:
+        return 1
+    size = 1
+    value -= limit
+    while True:
+        size += 1
+        if value < 128:
+            return size
+        value >>= 7
+
+
+def _string_size(text: str) -> int:
+    """Length byte(s) plus Huffman-compressed octets."""
+    compressed = max(1, int(len(text) * HUFFMAN_RATIO))
+    return _integer_size(compressed, 7) + compressed
+
+
+@dataclass(frozen=True)
+class HpackToken:
+    """One encoded header field, as handed to the decoder."""
+
+    kind: str  # "indexed" | "literal-indexed" | "literal"
+    index: int = 0
+    name: str = ""
+    value: str = ""
+    size: int = 0
+
+
+class _DynamicTable:
+    def __init__(self, max_size: int = 4096):
+        self.max_size = max_size
+        self.entries: List[Tuple[str, str]] = []  # newest first
+        self.size = 0
+
+    def add(self, name: str, value: str) -> None:
+        entry_size = len(name) + len(value) + ENTRY_OVERHEAD
+        self.entries.insert(0, (name, value))
+        self.size += entry_size
+        while self.size > self.max_size and self.entries:
+            old_name, old_value = self.entries.pop()
+            self.size -= len(old_name) + len(old_value) + ENTRY_OVERHEAD
+
+    def find(self, name: str, value: str) -> int:
+        """1-based dynamic index of an exact match, or 0."""
+        for i, (n, v) in enumerate(self.entries):
+            if n == name and v == value:
+                return i + 1
+        return 0
+
+    def get(self, index: int) -> Tuple[str, str]:
+        return self.entries[index - 1]
+
+
+class HpackEncoder:
+    """Stateful encoder producing tokens plus exact encoded sizes."""
+
+    def __init__(self, max_table_size: int = 4096):
+        self._dynamic = _DynamicTable(max_table_size)
+
+    def encode(self, headers: Iterable[Tuple[str, str]]) -> Tuple[int, List[HpackToken]]:
+        """Encode a header list; returns ``(block_size_bytes, tokens)``."""
+        total = 0
+        tokens: List[HpackToken] = []
+        for name, value in headers:
+            token = self._encode_field(name, value)
+            total += token.size
+            tokens.append(token)
+        return total, tokens
+
+    def encode_size(self, headers: Iterable[Tuple[str, str]]) -> int:
+        """Size-only convenience wrapper."""
+        size, _ = self.encode(headers)
+        return size
+
+    def _encode_field(self, name: str, value: str) -> HpackToken:
+        # Exact match in static table -> indexed representation.
+        for i, (sn, sv) in enumerate(STATIC_TABLE):
+            if sn == name and sv == value and sv != "":
+                return HpackToken("indexed", index=i + 1,
+                                  size=_integer_size(i + 1, 7))
+        dyn = self._dynamic.find(name, value)
+        if dyn:
+            index = len(STATIC_TABLE) + dyn
+            return HpackToken("indexed", index=index,
+                              size=_integer_size(index, 7))
+        # Literal with incremental indexing; name may be indexed.
+        name_index = 0
+        for i, (sn, _) in enumerate(STATIC_TABLE):
+            if sn == name:
+                name_index = i + 1
+                break
+        size = _integer_size(name_index, 6) if name_index else (
+            _integer_size(0, 6) + _string_size(name))
+        size += _string_size(value)
+        self._dynamic.add(name, value)
+        return HpackToken("literal-indexed", index=name_index,
+                          name=name, value=value, size=size)
+
+
+class HpackDecoder:
+    """Stateful decoder consuming the encoder's tokens."""
+
+    def __init__(self, max_table_size: int = 4096):
+        self._dynamic = _DynamicTable(max_table_size)
+
+    def decode(self, tokens: Iterable[HpackToken]) -> List[Tuple[str, str]]:
+        """Reconstruct the header list from tokens."""
+        headers: List[Tuple[str, str]] = []
+        for token in tokens:
+            if token.kind == "indexed":
+                headers.append(self._lookup(token.index))
+            else:
+                name = token.name
+                if not name and token.index:
+                    name = self._lookup(token.index)[0]
+                headers.append((name, token.value))
+                if token.kind == "literal-indexed":
+                    self._dynamic.add(name, token.value)
+        return headers
+
+    def _lookup(self, index: int) -> Tuple[str, str]:
+        if index <= 0:
+            raise ValueError("HPACK index 0 is invalid")
+        if index <= len(STATIC_TABLE):
+            return STATIC_TABLE[index - 1]
+        return self._dynamic.get(index - len(STATIC_TABLE))

@@ -1,0 +1,117 @@
+"""Multiplexing schedulers for the server's shared TCP stream.
+
+The scheduler decides, whenever the TCP connection has room, which
+stream's next frame to enqueue.  The paper's multiplexing (Fig. 3) is
+the round-robin policy; FIFO (finish one object before starting the
+next) is the HTTP/1.1-like ablation; the weighted policy honours the
+client's priority tree and backs the paper's future-work defense of
+per-load priority shuffling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.http2.priority import PriorityTree
+
+
+class MuxScheduler:
+    """Interface: pick the next stream to service."""
+
+    name = "base"
+
+    def pick(self, eligible: List[int]) -> int:
+        """Choose one of ``eligible`` (non-empty, ascending stream ids)."""
+        raise NotImplementedError
+
+    def on_stream_done(self, stream_id: int) -> None:
+        """Notification that a stream has no more queued frames."""
+        return None
+
+
+class RoundRobinScheduler(MuxScheduler):
+    """Rotate across active streams -- the paper's multiplexing server."""
+
+    name = "round-robin"
+
+    def __init__(self):
+        self._last: Optional[int] = None
+
+    def pick(self, eligible: List[int]) -> int:
+        if self._last is None:
+            choice = eligible[0]
+        else:
+            later = [sid for sid in eligible if sid > self._last]
+            choice = later[0] if later else eligible[0]
+        self._last = choice
+        return choice
+
+
+class FifoScheduler(MuxScheduler):
+    """Serve the oldest stream to completion before starting the next.
+
+    This is the serialization the adversary wants to force; as a server
+    policy it is also the "multiplexing disabled" configuration the
+    paper notes most 2020 HTTP/2 deployments ran with.
+    """
+
+    name = "fifo"
+
+    def __init__(self):
+        self._order: List[int] = []
+
+    def pick(self, eligible: List[int]) -> int:
+        for sid in eligible:
+            if sid not in self._order:
+                self._order.append(sid)
+        for sid in self._order:
+            if sid in eligible:
+                return sid
+        return eligible[0]
+
+    def on_stream_done(self, stream_id: int) -> None:
+        if stream_id in self._order:
+            self._order.remove(stream_id)
+
+
+class WeightedScheduler(MuxScheduler):
+    """Smooth weighted round-robin driven by the priority tree.
+
+    Deterministic (no randomness): each pick adds every eligible
+    stream's weight to its running credit, picks the highest credit, and
+    subtracts the credit total from the winner.
+    """
+
+    name = "weighted"
+
+    def __init__(self, tree: Optional[PriorityTree] = None):
+        self.tree = tree or PriorityTree()
+        self._credit: Dict[int, float] = {}
+
+    def pick(self, eligible: List[int]) -> int:
+        weights = self.tree.scheduling_weights(eligible)
+        total = 0.0
+        best, best_credit = eligible[0], float("-inf")
+        for sid in eligible:
+            weight = weights.get(sid, 1.0 / len(eligible))
+            credit = self._credit.get(sid, 0.0) + weight
+            self._credit[sid] = credit
+            total += weight
+            if credit > best_credit:
+                best, best_credit = sid, credit
+        self._credit[best] -= total
+        return best
+
+    def on_stream_done(self, stream_id: int) -> None:
+        self._credit.pop(stream_id, None)
+
+
+def make_scheduler(kind: str, tree: Optional[PriorityTree] = None) -> MuxScheduler:
+    """Factory for the named scheduler."""
+    if kind == "round-robin":
+        return RoundRobinScheduler()
+    if kind == "fifo":
+        return FifoScheduler()
+    if kind == "weighted":
+        return WeightedScheduler(tree)
+    raise ValueError(f"unknown scheduler {kind!r}")

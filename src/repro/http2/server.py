@@ -1,0 +1,398 @@
+"""Multi-worker HTTP/2 server.
+
+Models the server of the paper's Figure 3: every GET spawns a worker
+("thread") after a small processing delay; workers enqueue response
+frames on per-stream queues; a :class:`~repro.http2.scheduler.MuxScheduler`
+drains those queues round-robin into the shared TCP stream, interleaving
+the objects.  Three behaviours matter to the attack and are modelled
+faithfully:
+
+* **Duplicate GET service** (Fig. 4): when the TCP layer re-delivers a
+  retransmitted GET (duplicate-delivery mode) the server spawns another
+  worker and serves another copy of the object, intensifying
+  multiplexing.  Disable with ``serve_duplicate_requests=False``.
+* **RST_STREAM flush** (Section IV-D): a reset closes the stream and
+  flushes its queued frames immediately.
+* **Dynamic objects**: the survey result HTML is generated in chunks
+  over time; once generated, the result is cached so a re-request (after
+  the adversary forces a reset) is served fast and alone.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.http2 import frames as fr
+from repro.http2.connection import Http2Connection
+from repro.http2.errors import ErrorCode
+from repro.http2.hpack import HpackEncoder
+from repro.http2.priority import PriorityTree
+from repro.http2.scheduler import MuxScheduler, make_scheduler
+from repro.http2.settings import Http2Settings
+from repro.http2.stream import StreamState
+from repro.tcp.connection import TcpConfig, TcpConnection, TcpStack
+from repro.tls.session import TlsSession
+
+
+@dataclass
+class Http2ServerConfig:
+    """Server tunables."""
+
+    port: int = 443
+    #: DATA payload bytes per frame; one frame rides one TLS record and
+    #: (with the default MSS) one packet -- the interleave granularity.
+    max_frame_payload: int = 1370
+    #: Mean of the exponential per-request worker spawn delay (seconds).
+    processing_delay_mean_s: float = 0.0008
+    scheduler: str = "round-robin"
+    #: Reproduce the paper's observed re-serving of retransmitted GETs.
+    serve_duplicate_requests: bool = True
+    #: Keep the TCP unsent backlog at most this many bytes ahead of the
+    #: scheduler, so interleaving decisions happen at wire pace.
+    backlog_watermark_bytes: int = 4 * 1400
+    settings: Http2Settings = field(default_factory=Http2Settings)
+    #: Optional defense hook: ``pad_object(size, rng) -> padded_size``
+    #: applied to every response body (padding / morphing defenses).
+    pad_object: Optional[Callable] = None
+    #: Optional defense hook: path -> list of paths to server-push when
+    #: that path is served (requires the client to enable push).
+    push_map: Optional[Dict[str, List[str]]] = None
+
+
+@dataclass(frozen=True)
+class TxEntry:
+    """Ground-truth record of one response frame entering the TCP stream."""
+
+    time: float
+    stream_id: int
+    object_path: str
+    serve_id: int
+    tcp_offset: int
+    length: int
+    is_data: bool
+    end_stream: bool
+    duplicate: bool
+
+
+class ServerConnection(Http2Connection):
+    """Server side of one client connection."""
+
+    def __init__(self, server: "Http2Server", tls: TlsSession):
+        super().__init__(server.sim, tls, settings=server.config.settings)
+        self.server = server
+        self.site = server.site
+        self.config = server.config
+        self.streams: Dict[int, StreamState] = {}
+        self.stream_queues: Dict[int, Deque[fr.Frame]] = {}
+        self.priority_tree = PriorityTree()
+        self.scheduler: MuxScheduler = make_scheduler(self.config.scheduler,
+                                                      self.priority_tree)
+        self.tx_log: List[TxEntry] = []
+        self.requests_received = 0
+        self.duplicate_requests_served = 0
+        self._serve_ids = 0
+        self._next_push_stream_id = 2
+        self._shutting_down = False
+        self.refused_streams = 0
+        self._dynamic_cache: Dict[str, bool] = {}
+        self._rng = server.sim.rng("http2-server")
+        tls.conn.on_send_space = self.pump
+
+    # -- request ingress -----------------------------------------------------
+
+    def handle_headers(self, frame: fr.HeadersFrame, dup: bool) -> None:
+        path = frame.headers.get(":path")
+        if path is None:
+            return
+        if dup and not self.config.serve_duplicate_requests:
+            return
+        if not dup:
+            if self._shutting_down:
+                # Streams above the GOAWAY watermark were never started.
+                self.send_frame(fr.RstStreamFrame(
+                    stream_id=frame.stream_id,
+                    error_code=int(ErrorCode.REFUSED_STREAM)))
+                return
+            if self._open_stream_count() >= self.settings.max_concurrent_streams:
+                self.refused_streams += 1
+                self.send_frame(fr.RstStreamFrame(
+                    stream_id=frame.stream_id,
+                    error_code=int(ErrorCode.REFUSED_STREAM)))
+                return
+            self.requests_received += 1
+            stream = self.streams.setdefault(frame.stream_id,
+                                             StreamState(frame.stream_id))
+            stream.on_recv_headers(end_stream=frame.end_stream)
+            weight = frame.priority_weight or 16
+            self.priority_tree.add_stream(frame.stream_id, weight=weight)
+        else:
+            stream = self.streams.get(frame.stream_id)
+            if stream is None or stream.was_reset:
+                return
+            self.duplicate_requests_served += 1
+
+        delay = self._rng.expovariate(1.0 / self.config.processing_delay_mean_s)
+        self.sim.schedule(delay, self._spawn_worker, frame.stream_id, path, dup)
+
+    def handle_priority(self, frame: fr.PriorityFrame) -> None:
+        self.priority_tree.add_stream(frame.stream_id, frame.depends_on,
+                                      frame.weight, frame.exclusive)
+
+    def handle_rst_stream(self, frame: fr.RstStreamFrame) -> None:
+        stream = self.streams.get(frame.stream_id)
+        if stream is not None:
+            stream.on_recv_rst(frame.error_code)
+        # Flush queued segments for the stream (the paper's observation
+        # about Reset Stream reducing load immediately).
+        queue = self.stream_queues.pop(frame.stream_id, None)
+        if queue is not None:
+            self.scheduler.on_stream_done(frame.stream_id)
+
+    def handle_data(self, frame: fr.DataFrame, dup: bool) -> None:
+        return None  # Request bodies are out of scope (GET-only workload).
+
+    def handle_window_opened(self) -> None:
+        self.pump()
+
+    def _open_stream_count(self) -> int:
+        return sum(1 for stream in self.streams.values()
+                   if not stream.is_closed and stream.stream_id % 2 == 1)
+
+    def shutdown(self) -> None:
+        """Graceful close: announce GOAWAY, refuse new streams, finish
+        the ones in flight (RFC 7540 section 6.8)."""
+        if self._shutting_down:
+            return
+        self._shutting_down = True
+        last = max((sid for sid in self.streams if sid % 2 == 1), default=0)
+        self.send_frame(fr.GoAwayFrame(last_stream_id=last,
+                                       error_code=int(ErrorCode.NO_ERROR)))
+
+    # -- workers -----------------------------------------------------------------
+
+    def _spawn_worker(self, stream_id: int, path: str, dup: bool) -> None:
+        stream = self.streams.get(stream_id)
+        if stream is None or stream.was_reset:
+            return
+        obj = self.site.lookup(path)
+        self._serve_ids += 1
+        serve_id = self._serve_ids
+
+        if not dup:
+            self._maybe_push(stream_id, path)
+
+        headers_frame = self._response_headers(stream_id, obj)
+        self._enqueue(stream_id, headers_frame)
+
+        if obj is None:
+            return
+        generation = getattr(obj, "generation", None)
+        if generation is not None and not self._dynamic_cache.get(path):
+            self._generate_dynamic(stream_id, obj, serve_id, dup)
+        else:
+            self._enqueue_object(stream_id, obj, serve_id, dup)
+
+    def _maybe_push(self, stream_id: int, path: str) -> None:
+        push_map = self.config.push_map
+        if not push_map or path not in push_map:
+            return
+        if not self.peer_settings.enable_push:
+            return
+        for pushed_path in push_map[path]:
+            pushed = self.site.lookup(pushed_path)
+            if pushed is None:
+                continue
+            promised_id = self._next_push_stream_id
+            self._next_push_stream_id += 2
+            headers = {":method": "GET", ":path": pushed_path,
+                       ":authority": self.site.authority}
+            block = self.server.hpack.encode_size(sorted(headers.items()))
+            self.send_frame(fr.PushPromiseFrame(
+                stream_id=stream_id, promised_stream_id=promised_id,
+                headers=headers, header_block_len=block))
+            pushed_stream = StreamState(promised_id)
+            pushed_stream.on_recv_headers(end_stream=True)
+            self.streams[promised_id] = pushed_stream
+            self._serve_ids += 1
+            self._enqueue(promised_id, self._response_headers(promised_id,
+                                                              pushed))
+            self._enqueue_object(promised_id, pushed, self._serve_ids,
+                                 dup=False)
+
+    def _response_headers(self, stream_id: int, obj) -> fr.HeadersFrame:
+        if obj is None:
+            headers = {":status": "404", "content-length": "0"}
+            block = self.server.hpack.encode_size(sorted(headers.items()))
+            return fr.HeadersFrame(stream_id=stream_id, headers=headers,
+                                   header_block_len=block, end_stream=True)
+        headers = {
+            ":status": "200",
+            "content-type": obj.content_type,
+            "content-length": str(obj.size),
+            "server": "repro-h2",
+            "cache-control": "no-cache" if getattr(obj, "generation", None)
+                             else "max-age=3600",
+        }
+        block = self.server.hpack.encode_size(sorted(headers.items()))
+        return fr.HeadersFrame(stream_id=stream_id, headers=headers,
+                               header_block_len=block, end_stream=False)
+
+    def _enqueue_object(self, stream_id: int, obj, serve_id: int,
+                        dup: bool) -> None:
+        chunk = self.config.max_frame_payload
+        total = obj.size
+        if self.config.pad_object is not None:
+            # Defense hook: ship `total` wire bytes for a `obj.size`-byte
+            # object (HTTP/2 DATA padding / TLS record padding schemes).
+            total = max(total, int(self.config.pad_object(obj.size, self._rng)))
+        offset = 0
+        while offset < total:
+            length = min(chunk, total - offset)
+            offset += length
+            self._enqueue(stream_id, fr.DataFrame(
+                stream_id=stream_id, length=length,
+                end_stream=(offset >= total),
+                object_ref=obj, serve_id=serve_id, object_offset=offset - length,
+            ), dup=dup)
+
+    def _generate_dynamic(self, stream_id: int, obj, serve_id: int,
+                          dup: bool) -> None:
+        rng = self.sim.rng(f"dynamic:{obj.path}")
+        schedule = obj.generation.plan(rng, obj.size)
+        gap, _ = schedule[0]
+        self.sim.schedule(gap, self._emit_dynamic_chunk,
+                          stream_id, obj, serve_id, dup, 0, schedule, 0)
+
+    def _emit_dynamic_chunk(self, stream_id: int, obj, serve_id: int,
+                            dup: bool, offset: int, schedule, index: int) -> None:
+        stream = self.streams.get(stream_id)
+        if stream is None or stream.was_reset:
+            # Generation keeps running server-side; cache the result so a
+            # re-request is served fast.
+            self._dynamic_cache[obj.path] = True
+            return
+        frame_cap = self.config.max_frame_payload
+        _, chunk_len = schedule[index]
+        chunk_len = min(chunk_len, obj.size - offset)
+        # A generation chunk may span several DATA frames.
+        emitted = 0
+        while emitted < chunk_len:
+            length = min(frame_cap, chunk_len - emitted)
+            emitted += length
+            end = offset + emitted >= obj.size
+            self._enqueue(stream_id, fr.DataFrame(
+                stream_id=stream_id, length=length, end_stream=end,
+                object_ref=obj, serve_id=serve_id,
+                object_offset=offset + emitted - length,
+            ), dup=dup)
+        offset += chunk_len
+        if offset >= obj.size or index + 1 >= len(schedule):
+            self._dynamic_cache[obj.path] = True
+            return
+        gap, _ = schedule[index + 1]
+        self.sim.schedule(gap, self._emit_dynamic_chunk,
+                          stream_id, obj, serve_id, dup, offset, schedule,
+                          index + 1)
+
+    # -- scheduling into TCP ---------------------------------------------------
+
+    def _enqueue(self, stream_id: int, frame: fr.Frame, dup: bool = False) -> None:
+        frame._dup_serve = dup
+        queue = self.stream_queues.get(stream_id)
+        if queue is None:
+            queue = deque()
+            self.stream_queues[stream_id] = queue
+        queue.append(frame)
+        self.pump()
+
+    def pump(self) -> None:
+        """Drain stream queues into TCP while there is room."""
+        tcp = self.tls.conn
+        watermark = self.config.backlog_watermark_bytes
+        while tcp.unsent_backlog < watermark:
+            eligible = self._eligible_streams()
+            if not eligible:
+                break
+            sid = self.scheduler.pick(eligible)
+            queue = self.stream_queues[sid]
+            frame = queue.popleft()
+            if not queue:
+                del self.stream_queues[sid]
+                # A queue can be transiently empty while a worker is
+                # still enqueueing (TCP backpressure gates its loop);
+                # the stream is *done* for scheduling purposes only at
+                # END_STREAM, or FIFO service would lose its place.
+                if getattr(frame, "end_stream", False):
+                    self.scheduler.on_stream_done(sid)
+            self._transmit(sid, frame)
+
+    def _eligible_streams(self) -> List[int]:
+        eligible = []
+        for sid in sorted(self.stream_queues):
+            stream = self.streams.get(sid)
+            if stream is not None and stream.was_reset:
+                continue
+            head = self.stream_queues[sid][0]
+            if isinstance(head, fr.DataFrame) and not self.can_send_data(
+                    sid, head.length):
+                continue
+            eligible.append(sid)
+        return eligible
+
+    def _transmit(self, sid: int, frame: fr.Frame) -> None:
+        tcp = self.tls.conn
+        offset = tcp.send_buffer.total_written
+        is_data = isinstance(frame, fr.DataFrame)
+        if is_data:
+            self.send_data_frame(frame)
+            stream = self.streams.get(sid)
+            # Duplicate-serve copies keep flowing after the first copy
+            # closed the stream (the paper's Fig. 4 behaviour); the state
+            # machine only tracks the first serve.
+            if stream is not None and not stream.is_closed:
+                stream.on_send_data(frame.length, frame.end_stream)
+        else:
+            self.send_frame(frame)
+        self.tx_log.append(TxEntry(
+            time=self.sim.now,
+            stream_id=sid,
+            object_path=(frame.object_ref.path if is_data and frame.object_ref
+                         else ""),
+            serve_id=frame.serve_id if is_data else 0,
+            tcp_offset=offset,
+            length=frame.length if is_data else 0,
+            is_data=is_data,
+            end_stream=getattr(frame, "end_stream", False),
+            duplicate=bool(getattr(frame, "_dup_serve", False)),
+        ))
+
+
+class Http2Server:
+    """Accepts connections on a host and serves a site."""
+
+    def __init__(self, sim, host, site, config: Optional[Http2ServerConfig] = None,
+                 tcp_config: Optional[TcpConfig] = None):
+        self.sim = sim
+        self.host = host
+        self.site = site
+        self.config = config or Http2ServerConfig()
+        self.hpack = HpackEncoder()
+        self.connections: List[ServerConnection] = []
+
+        tcp_config = tcp_config or TcpConfig(deliver_duplicates=True)
+        self.tcp = TcpStack(sim, host, tcp_config)
+        self.tcp.listen(self.config.port, self._on_accept)
+
+    def _on_accept(self, conn: TcpConnection) -> None:
+        tls = TlsSession(conn, role="server")
+        self.connections.append(ServerConnection(self, tls))
+
+    def combined_tx_log(self) -> List[TxEntry]:
+        """Concatenated transmission log across connections."""
+        entries: List[TxEntry] = []
+        for connection in self.connections:
+            entries.extend(connection.tx_log)
+        entries.sort(key=lambda e: (e.time, e.tcp_offset))
+        return entries

@@ -1,0 +1,55 @@
+"""HTTP/2 settings (RFC 7540 section 6.5.2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+# Setting identifiers.
+SETTINGS_HEADER_TABLE_SIZE = 0x1
+SETTINGS_ENABLE_PUSH = 0x2
+SETTINGS_MAX_CONCURRENT_STREAMS = 0x3
+SETTINGS_INITIAL_WINDOW_SIZE = 0x4
+SETTINGS_MAX_FRAME_SIZE = 0x5
+SETTINGS_MAX_HEADER_LIST_SIZE = 0x6
+
+
+@dataclass
+class Http2Settings:
+    """One endpoint's advertised settings."""
+
+    header_table_size: int = 4096
+    enable_push: bool = False
+    max_concurrent_streams: int = 128
+    initial_window_size: int = 262_144
+    max_frame_size: int = 16_384
+    max_header_list_size: int = 65_536
+
+    def to_wire(self) -> Dict[int, int]:
+        """The identifier -> value map carried by a SETTINGS frame."""
+        return {
+            SETTINGS_HEADER_TABLE_SIZE: self.header_table_size,
+            SETTINGS_ENABLE_PUSH: int(self.enable_push),
+            SETTINGS_MAX_CONCURRENT_STREAMS: self.max_concurrent_streams,
+            SETTINGS_INITIAL_WINDOW_SIZE: self.initial_window_size,
+            SETTINGS_MAX_FRAME_SIZE: self.max_frame_size,
+            SETTINGS_MAX_HEADER_LIST_SIZE: self.max_header_list_size,
+        }
+
+    @classmethod
+    def from_wire(cls, values: Dict[int, int]) -> "Http2Settings":
+        """Parse a SETTINGS payload, keeping defaults for absent ids."""
+        settings = cls()
+        if SETTINGS_HEADER_TABLE_SIZE in values:
+            settings.header_table_size = values[SETTINGS_HEADER_TABLE_SIZE]
+        if SETTINGS_ENABLE_PUSH in values:
+            settings.enable_push = bool(values[SETTINGS_ENABLE_PUSH])
+        if SETTINGS_MAX_CONCURRENT_STREAMS in values:
+            settings.max_concurrent_streams = values[SETTINGS_MAX_CONCURRENT_STREAMS]
+        if SETTINGS_INITIAL_WINDOW_SIZE in values:
+            settings.initial_window_size = values[SETTINGS_INITIAL_WINDOW_SIZE]
+        if SETTINGS_MAX_FRAME_SIZE in values:
+            settings.max_frame_size = values[SETTINGS_MAX_FRAME_SIZE]
+        if SETTINGS_MAX_HEADER_LIST_SIZE in values:
+            settings.max_header_list_size = values[SETTINGS_MAX_HEADER_LIST_SIZE]
+        return settings

@@ -1,0 +1,56 @@
+"""Discrete-event network simulation substrate.
+
+This subpackage provides the network layer on which every other component
+of the reproduction runs:
+
+* :mod:`repro.simnet.engine` -- the event loop and simulated clock.
+* :mod:`repro.simnet.randomness` -- named, seeded random streams.
+* :mod:`repro.simnet.packet` -- packets and the adversary-visible wire view.
+* :mod:`repro.simnet.link` -- links with bandwidth, delay, jitter and loss.
+* :mod:`repro.simnet.host` -- endpoints that own protocol stacks.
+* :mod:`repro.simnet.middlebox` -- the programmable on-path device the
+  adversary controls, with its policy chain.
+* :mod:`repro.simnet.trace` -- pcap-like capture of wire views.
+* :mod:`repro.simnet.topology` -- the standard client--middlebox--server
+  topology used throughout the paper.
+"""
+
+from repro.simnet.engine import EventHandle, Simulator
+from repro.simnet.host import Host
+from repro.simnet.link import Link, LinkConfig
+from repro.simnet.middlebox import (
+    Middlebox,
+    NetemJitterPolicy,
+    Policy,
+    SpacingPolicy,
+    TokenBucketPolicy,
+    UniformDelayPolicy,
+    WindowedDropPolicy,
+)
+from repro.simnet.packet import Packet, RecordInfo, WireView
+from repro.simnet.randomness import RandomStreams
+from repro.simnet.topology import StandardTopology, TopologyConfig
+from repro.simnet.trace import CapturedPacket, TraceRecorder
+
+__all__ = [
+    "CapturedPacket",
+    "EventHandle",
+    "Host",
+    "Link",
+    "LinkConfig",
+    "Middlebox",
+    "NetemJitterPolicy",
+    "Packet",
+    "Policy",
+    "RandomStreams",
+    "RecordInfo",
+    "Simulator",
+    "SpacingPolicy",
+    "StandardTopology",
+    "TokenBucketPolicy",
+    "TopologyConfig",
+    "TraceRecorder",
+    "UniformDelayPolicy",
+    "WindowedDropPolicy",
+    "WireView",
+]

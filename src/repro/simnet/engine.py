@@ -1,0 +1,135 @@
+"""Event loop and simulated clock.
+
+The simulator is a classic binary-heap discrete-event scheduler.  All time
+values are floats in *seconds*.  Components never sleep or poll; they
+schedule callbacks.
+
+Determinism: events scheduled for the same instant fire in scheduling
+order (a monotone sequence number breaks ties), and all randomness is
+drawn from named streams owned by the simulator (see
+:mod:`repro.simnet.randomness`), so a run is a pure function of its seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from repro.simnet.randomness import RandomStreams
+
+
+class EventHandle:
+    """Cancellable handle for a scheduled event."""
+
+    __slots__ = ("when", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, when: float, seq: int, callback: Callable[..., Any], args: tuple):
+        self.when = when
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+        self.callback = _noop
+        self.args = ()
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.when, self.seq) < (other.when, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(when={self.when:.6f}, seq={self.seq}, {state})"
+
+
+def _noop() -> None:
+    return None
+
+
+class Simulator:
+    """Discrete-event simulator with a seeded random-stream registry.
+
+    Parameters
+    ----------
+    seed:
+        Master seed.  Every named random stream derives from it, so two
+        simulators built with the same seed produce identical runs.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._queue: list[EventHandle] = []
+        self._seq = 0
+        self._now = 0.0
+        self._running = False
+        self._processed = 0
+        self.streams = RandomStreams(seed)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def rng(self, name: str):
+        """Return the named :class:`random.Random` stream."""
+        return self.streams.get(name)
+
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, when: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute time ``when``."""
+        if when < self._now:
+            raise ValueError(f"cannot schedule at {when} before now ({self._now})")
+        handle = EventHandle(when, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._queue, handle)
+        return handle
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run events until the queue empties, ``until`` passes, or
+        ``max_events`` have executed.
+
+        Returns the simulated time when the run stopped.  When ``until``
+        is given the clock is advanced to it even if the queue drained
+        earlier, so repeated ``run(until=...)`` calls behave like a
+        monotone clock.
+        """
+        if self._running:
+            raise RuntimeError("simulator is not reentrant")
+        self._running = True
+        try:
+            executed = 0
+            while self._queue:
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and head.when > until:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                heapq.heappop(self._queue)
+                self._now = head.when
+                callback, args = head.callback, head.args
+                callback(*args)
+                self._processed += 1
+                executed += 1
+            if until is not None and self._now < until:
+                self._now = until
+            return self._now
+        finally:
+            self._running = False
+
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled events in the queue."""
+        return sum(1 for event in self._queue if not event.cancelled)

@@ -1,0 +1,128 @@
+"""Pcap-like capture of wire views at the middlebox.
+
+The adversary's traffic monitor (``tshark`` in the paper) and the
+offline analysis both consume these captures.  Only
+:class:`~repro.simnet.packet.WireView` data is stored -- the capture is
+exactly what a real on-path sniffer would have.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.simnet.packet import RecordInfo, WireView
+
+
+@dataclass(frozen=True)
+class CapturedPacket:
+    """One packet as seen transiting the middlebox."""
+
+    time: float
+    direction: str
+    view: WireView
+    dropped: bool
+
+
+@dataclass(frozen=True)
+class CompletedRecord:
+    """A TLS record whose last byte has been observed.
+
+    ``start_time``/``end_time`` bracket the packets that carried it;
+    ``wire_len`` includes the 5-byte record header and AEAD overhead,
+    both visible on the wire.
+    """
+
+    record_id: int
+    content_type: int
+    wire_len: int
+    start_time: float
+    end_time: float
+    direction: str
+    #: Size of the packet that carried the record's final byte.  Sub-MTU
+    #: final packets are the delimiters of Fig. 1.
+    final_packet_size: int
+
+
+class TraceRecorder:
+    """Accumulates captured packets and derives record-level views."""
+
+    def __init__(self, include_dropped: bool = True):
+        self.include_dropped = include_dropped
+        self._packets: List[CapturedPacket] = []
+
+    # The middlebox tap signature.
+    def __call__(self, now: float, direction: str, view: WireView, dropped: bool) -> None:
+        if dropped and not self.include_dropped:
+            return
+        self._packets.append(CapturedPacket(now, direction, view, dropped))
+
+    def __len__(self) -> int:
+        return len(self._packets)
+
+    def clear(self) -> None:
+        """Forget everything captured so far."""
+        self._packets.clear()
+
+    def packets(self, direction: Optional[str] = None,
+                include_dropped: bool = False) -> List[CapturedPacket]:
+        """Captured packets, optionally filtered by direction."""
+        return [
+            p for p in self._packets
+            if (direction is None or p.direction == direction)
+            and (include_dropped or not p.dropped)
+        ]
+
+    def application_packets(self, direction: str) -> List[CapturedPacket]:
+        """Forwarded packets carrying TLS application data (type 23)."""
+        return [
+            p for p in self.packets(direction)
+            if p.view.has_application_data
+        ]
+
+    def completed_records(self, direction: str,
+                          content_type: Optional[int] = 23) -> List[CompletedRecord]:
+        """Reassemble record-level sizes from the packet slices.
+
+        Follows delivered (non-dropped) packets only, since only those
+        reach the far endpoint.  Records are emitted in order of their
+        final slice.  Retransmitted duplicate slices of an already
+        completed record start a fresh logical record, mirroring what a
+        sniffer tracking the byte stream sees as duplicated spans.
+        """
+        open_records: dict = {}
+        completed: List[CompletedRecord] = []
+        for captured in self.packets(direction):
+            for info in captured.view.records:
+                if content_type is not None and info.content_type != content_type:
+                    continue
+                key = info.record_id
+                if info.is_start or key not in open_records:
+                    open_records[key] = captured.time
+                if info.is_end:
+                    start_time = open_records.pop(key, captured.time)
+                    completed.append(CompletedRecord(
+                        record_id=info.record_id,
+                        content_type=info.content_type,
+                        wire_len=info.record_wire_len,
+                        start_time=start_time,
+                        end_time=captured.time,
+                        direction=captured.direction,
+                        final_packet_size=captured.view.size,
+                    ))
+        return completed
+
+    def count(self, predicate: Callable[[CapturedPacket], bool]) -> int:
+        """Number of captured packets satisfying ``predicate``."""
+        return sum(1 for p in self._packets if predicate(p))
+
+    def retransmitted_packets(self, direction: Optional[str] = None) -> List[CapturedPacket]:
+        """Packets flagged as TCP retransmissions (inferable from seq reuse)."""
+        return [p for p in self.packets(direction, include_dropped=True)
+                if p.view.is_retransmit]
+
+    def time_span(self) -> Tuple[float, float]:
+        """(first, last) capture timestamps; (0, 0) when empty."""
+        if not self._packets:
+            return (0.0, 0.0)
+        return (self._packets[0].time, self._packets[-1].time)

@@ -1,0 +1,30 @@
+"""Simplified TCP (Reno) substrate.
+
+Implements the TCP mechanisms the paper's attack manipulates:
+
+* byte-stream transmission with MSS-sized segments,
+* cumulative ACKs, duplicate-ACK counting and fast retransmit,
+* RTO estimation (Jacobson/Karn) with exponential backoff,
+* Reno slow start / congestion avoidance / fast recovery,
+* in-order reassembly, with an optional *duplicate delivery* mode that
+  reproduces the paper's observation that retransmitted GET copies cause
+  the HTTP/2 server to re-serve objects (Fig. 4).
+"""
+
+from repro.tcp.buffer import ReceiveBuffer, SendBuffer
+from repro.tcp.congestion import RenoCongestionControl
+from repro.tcp.connection import TcpConfig, TcpConnection, TcpStack
+from repro.tcp.rto import RtoEstimator
+from repro.tcp.segment import RecordSlice, TcpSegment
+
+__all__ = [
+    "ReceiveBuffer",
+    "RecordSlice",
+    "RenoCongestionControl",
+    "RtoEstimator",
+    "SendBuffer",
+    "TcpConfig",
+    "TcpConnection",
+    "TcpSegment",
+    "TcpStack",
+]

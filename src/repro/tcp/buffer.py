@@ -1,0 +1,136 @@
+"""Send-side stream buffering and receive-side reassembly."""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.tcp.segment import RecordSlice
+
+
+class SendBuffer:
+    """The outgoing byte stream, annotated with TLS record positions.
+
+    Applications (the TLS session) append whole records; the connection
+    cuts MSS-sized spans out of the stream with :meth:`slice_stream`.
+    Records below the cumulative-ACK point are pruned so memory stays
+    proportional to the in-flight window.
+    """
+
+    def __init__(self):
+        self._records: List[object] = []
+        self._starts: List[int] = []
+        self._base_index = 0
+        self.total_written = 0
+
+    def write(self, record) -> int:
+        """Append ``record`` (with ``wire_len``) and return its stream offset."""
+        offset = self.total_written
+        self._records.append(record)
+        self._starts.append(offset)
+        self.total_written += record.wire_len
+        return offset
+
+    def slice_stream(self, seq: int, length: int) -> Tuple[RecordSlice, ...]:
+        """Record slices overlapping stream span ``[seq, seq + length)``."""
+        if length <= 0:
+            return ()
+        if seq + length > self.total_written:
+            raise ValueError("slice beyond written stream")
+        idx = bisect_right(self._starts, seq) - 1
+        if idx < 0:
+            raise ValueError("slice below retained stream window")
+        slices: List[RecordSlice] = []
+        end = seq + length
+        while idx < len(self._records):
+            start = self._starts[idx]
+            record = self._records[idx]
+            if start >= end:
+                break
+            rec_end = start + record.wire_len
+            lo = max(seq, start)
+            hi = min(end, rec_end)
+            if hi > lo:
+                slices.append(RecordSlice(record=record, offset=lo - start,
+                                          length=hi - lo))
+            idx += 1
+        return tuple(slices)
+
+    def release(self, upto_seq: int) -> None:
+        """Drop records wholly below ``upto_seq`` (they are ACKed)."""
+        keep = 0
+        while (keep < len(self._records)
+               and self._starts[keep] + self._records[keep].wire_len <= upto_seq):
+            keep += 1
+        if keep:
+            del self._records[:keep]
+            del self._starts[:keep]
+            self._base_index += keep
+
+    def retained_records(self) -> int:
+        """Number of records currently held (for tests and memory checks)."""
+        return len(self._records)
+
+
+class ReceiveBuffer:
+    """In-order reassembly with optional duplicate re-delivery.
+
+    Retransmitted segments always reuse the boundaries of their first
+    transmission, so reassembly works on whole segments.  When
+    ``deliver_duplicates`` is on, copies of already-delivered spans are
+    handed to the application flagged ``dup=True`` -- the mode that
+    reproduces the paper's observed re-serving of objects whose GET was
+    retransmitted (Fig. 4).
+    """
+
+    def __init__(self, deliver: Callable[[Tuple[RecordSlice, ...], bool], None],
+                 deliver_duplicates: bool = False):
+        self._deliver = deliver
+        self.deliver_duplicates = deliver_duplicates
+        self.rcv_nxt = 0
+        self._out_of_order: Dict[int, Tuple[int, Tuple[RecordSlice, ...]]] = {}
+        self.duplicate_segments = 0
+        self.out_of_order_segments = 0
+
+    def on_segment(self, seq: int, length: int,
+                   slices: Tuple[RecordSlice, ...]) -> bool:
+        """Process one data segment.
+
+        Returns ``True`` when the segment advanced ``rcv_nxt`` (in-order
+        data), ``False`` for duplicates and out-of-order arrivals (the
+        caller acks either way; repeated acks at the same ``rcv_nxt``
+        are the dup-ACKs the sender counts).
+        """
+        if length <= 0:
+            return False
+        if seq + length <= self.rcv_nxt:
+            self.duplicate_segments += 1
+            if self.deliver_duplicates and slices:
+                self._deliver(slices, True)
+            return False
+        if seq > self.rcv_nxt:
+            self.out_of_order_segments += 1
+            self._out_of_order.setdefault(seq, (length, slices))
+            return False
+
+        # In-order (seq == rcv_nxt; partial overlaps cannot occur because
+        # retransmissions preserve segment boundaries).
+        self.rcv_nxt = seq + length
+        self._deliver(slices, False)
+        self._drain()
+        return True
+
+    def _drain(self) -> None:
+        while self.rcv_nxt in self._out_of_order:
+            length, slices = self._out_of_order.pop(self.rcv_nxt)
+            self.rcv_nxt += length
+            self._deliver(slices, False)
+        # Drop any buffered segments the cumulative point ran past.
+        stale = [s for s in self._out_of_order
+                 if s + self._out_of_order[s][0] <= self.rcv_nxt]
+        for s in stale:
+            del self._out_of_order[s]
+
+    def buffered_segments(self) -> int:
+        """Out-of-order segments currently parked."""
+        return len(self._out_of_order)

@@ -1,0 +1,102 @@
+"""TCP segments and the record slices they carry.
+
+Instead of shuttling literal bytes, the simulation moves *annotated byte
+counts*: a segment knows which spans of which TLS records it carries.
+That is enough to (a) reconstruct exactly what a wire sniffer sees
+(record headers are cleartext) and (b) let the receiving TLS session
+reassemble records for the application, without serializing anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.simnet.packet import RecordInfo, TcpWireView
+
+
+@dataclass(frozen=True)
+class RecordSlice:
+    """A contiguous span of one TLS record carried by one segment.
+
+    ``record`` must expose ``record_id``, ``content_type`` and
+    ``wire_len``; see :class:`repro.tls.record.TlsRecord`.
+    """
+
+    record: object
+    offset: int
+    length: int
+
+    @property
+    def is_start(self) -> bool:
+        return self.offset == 0
+
+    @property
+    def is_end(self) -> bool:
+        return self.offset + self.length == self.record.wire_len
+
+    def info(self) -> RecordInfo:
+        """The cleartext-visible description of this slice."""
+        return RecordInfo(
+            record_id=self.record.record_id,
+            content_type=self.record.content_type,
+            record_wire_len=self.record.wire_len,
+            bytes_in_packet=self.length,
+            is_start=self.is_start,
+            is_end=self.is_end,
+        )
+
+
+@dataclass
+class TcpSegment:
+    """One TCP segment (the payload of one simulated packet)."""
+
+    src: str
+    dst: str
+    src_port: int
+    dst_port: int
+    seq: int = 0
+    ack_no: int = 0
+    payload_len: int = 0
+    slices: Tuple[RecordSlice, ...] = ()
+    syn: bool = False
+    fin: bool = False
+    rst: bool = False
+    is_ack: bool = True
+    retx_count: int = 0
+    #: For pure ACKs: the ``retx_count`` of the data segment whose
+    #: arrival triggered this ACK -- the moral equivalent of the TCP
+    #: timestamp echo, letting the sender recognise a *spurious*
+    #: retransmission (the original arrived after all; Eifel/F-RTO).
+    ts_echo_retx: int = 0
+
+    @property
+    def end_seq(self) -> int:
+        return self.seq + self.payload_len
+
+    @property
+    def is_retransmit(self) -> bool:
+        return self.retx_count > 0
+
+    def wire_view(self):
+        """Return ``(TcpWireView, tuple[RecordInfo], is_retransmit)``."""
+        tcp_view = TcpWireView(
+            src_port=self.src_port,
+            dst_port=self.dst_port,
+            seq=self.seq,
+            ack=self.ack_no,
+            payload_len=self.payload_len,
+            syn=self.syn,
+            fin=self.fin,
+            rst=self.rst,
+            is_ack=self.is_ack,
+        )
+        infos = tuple(s.info() for s in self.slices)
+        return tcp_view, infos, self.is_retransmit
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = "".join(f for f, on in
+                        (("S", self.syn), ("F", self.fin), ("R", self.rst)) if on)
+        return (f"TcpSegment({self.src}:{self.src_port}->{self.dst}:{self.dst_port}"
+                f" seq={self.seq} len={self.payload_len} ack={self.ack_no}"
+                f" flags={flags or '-'} retx={self.retx_count})")

@@ -1,0 +1,27 @@
+"""Simulated TLS record layer.
+
+Size-preserving model of TLS over TCP: records have cleartext headers
+(content type + length) and opaque bodies.  The adversary's only uses of
+TLS are the ``content_type == 23`` filter and record sizes, both of
+which this model reproduces exactly; no actual cryptography is needed
+or implemented.
+"""
+
+from repro.tls.record import (
+    AEAD_OVERHEAD,
+    APPLICATION_DATA,
+    HANDSHAKE,
+    RECORD_HEADER_LEN,
+    TlsRecord,
+)
+from repro.tls.session import HandshakeProfile, TlsSession
+
+__all__ = [
+    "AEAD_OVERHEAD",
+    "APPLICATION_DATA",
+    "HANDSHAKE",
+    "HandshakeProfile",
+    "RECORD_HEADER_LEN",
+    "TlsRecord",
+    "TlsSession",
+]

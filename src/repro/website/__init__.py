@@ -1,0 +1,33 @@
+"""Website models.
+
+* :mod:`repro.website.objects` -- web objects and dynamic generation.
+* :mod:`repro.website.sitemap` -- a site (path -> object) plus page-load
+  structure (which objects a page pulls in, and when).
+* :mod:`repro.website.isidewith` -- the synthetic reconstruction of the
+  paper's target, the isidewith.com 2020 Presidential Quiz result page.
+* :mod:`repro.website.generator` -- random site generation for
+  fingerprinting datasets.
+"""
+
+from repro.website.generator import RandomSiteBuilder
+from repro.website.isidewith import (
+    PARTIES,
+    IsideWithSite,
+    build_isidewith_site,
+)
+from repro.website.objects import GenerationProfile, SurveyResultGeneration, WebObject
+from repro.website.streaming import StreamingSite, Viewer
+from repro.website.sitemap import Site
+
+__all__ = [
+    "GenerationProfile",
+    "IsideWithSite",
+    "PARTIES",
+    "RandomSiteBuilder",
+    "Site",
+    "StreamingSite",
+    "Viewer",
+    "SurveyResultGeneration",
+    "WebObject",
+    "build_isidewith_site",
+]

@@ -1,0 +1,100 @@
+"""Random website generation for fingerprinting datasets.
+
+Builds a site with ``n_pages`` pages, each with its own HTML document
+and a sampled set of embedded objects.  Object sizes are drawn so that
+most pages contain at least one uniquely sized object -- the property
+(Section II of the paper) that makes the size side-channel decisive.
+Used by the :mod:`repro.analysis` fingerprinting experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.website.objects import WebObject
+from repro.website.sitemap import PageLoadPlan, PlannedRequest, Site
+
+
+@dataclass
+class GeneratedPage:
+    """One generated page: its HTML path and embedded object paths."""
+
+    page_id: int
+    html_path: str
+    embedded: List[str]
+
+
+class RandomSiteBuilder:
+    """Deterministic random site construction."""
+
+    def __init__(self, n_pages: int = 12, objects_per_page: int = 8,
+                 shared_objects: int = 6, seed: int = 7,
+                 min_object_size: int = 2_000, max_object_size: int = 60_000):
+        self.n_pages = n_pages
+        self.objects_per_page = objects_per_page
+        self.shared_objects = shared_objects
+        self.seed = seed
+        self.min_object_size = min_object_size
+        self.max_object_size = max_object_size
+
+    def build(self) -> "RandomSite":
+        rng = random.Random(self.seed)
+        site = RandomSite(name="random-site", authority="random.example")
+        used_sizes = set()
+
+        def fresh_size() -> int:
+            while True:
+                size = rng.randrange(self.min_object_size, self.max_object_size)
+                if size not in used_sizes:
+                    used_sizes.add(size)
+                    return size
+
+        shared_paths = []
+        for i in range(self.shared_objects):
+            path = f"/shared/common-{i}.js"
+            site.add(WebObject(path=path, size=fresh_size(),
+                               content_type="application/javascript"))
+            shared_paths.append(path)
+
+        for page_id in range(self.n_pages):
+            html_path = f"/page/{page_id}"
+            site.add(WebObject(path=html_path, size=fresh_size(),
+                               content_type="text/html", cacheable=False))
+            embedded = list(shared_paths[:rng.randrange(
+                0, self.shared_objects + 1)])
+            for j in range(self.objects_per_page):
+                path = f"/page/{page_id}/asset-{j}.png"
+                site.add(WebObject(path=path, size=fresh_size(),
+                                   content_type="image/png"))
+                embedded.append(path)
+            site.pages.append(GeneratedPage(page_id=page_id,
+                                            html_path=html_path,
+                                            embedded=embedded))
+        return site
+
+
+class RandomSite(Site):
+    """A generated site with per-page load planning."""
+
+    def __init__(self, name: str, authority: str):
+        super().__init__(name, authority)
+        self.pages: List[GeneratedPage] = []
+
+    def plan_load(self, rng, page_id: int) -> PageLoadPlan:
+        """Plan a load of the given page (cold cache)."""
+        page = self.pages[page_id]
+        html = PlannedRequest(path=page.html_path, gap_s=0.0, weight=32)
+        embedded = [
+            PlannedRequest(path=path, gap_s=rng.uniform(0.0002, 0.004),
+                           weight=16)
+            for path in page.embedded
+        ]
+        return PageLoadPlan(
+            initial=[],
+            html=html,
+            head_resources=embedded,
+            exec_delay_s=rng.uniform(0.02, 0.08),
+            meta={"page_id": page_id},
+        )

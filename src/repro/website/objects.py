@@ -1,0 +1,89 @@
+"""Web objects and dynamic-generation profiles."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+class GenerationProfile:
+    """How a dynamic object's bytes become available over time.
+
+    ``plan(rng, size)`` returns the generation schedule as a list of
+    ``(gap_before_chunk_s, chunk_bytes)`` pairs summing to ``size``.
+    The first gap is measured from worker spawn.
+    """
+
+    def plan(self, rng, size: int) -> List[Tuple[float, int]]:
+        raise NotImplementedError
+
+
+class StaticGeneration(GenerationProfile):
+    """Everything available after a fixed delay (degenerate profile)."""
+
+    def __init__(self, delay_s: float = 0.0):
+        self.delay_s = delay_s
+
+    def plan(self, rng, size: int) -> List[Tuple[float, int]]:
+        return [(self.delay_s, size)]
+
+
+class SurveyResultGeneration(GenerationProfile):
+    """The paper's survey-result HTML: template rendering + DB queries.
+
+    Per generation, the server is in *fast* mode with probability
+    ``fast_prob`` (result already computed; short render) or *slow* mode
+    (scoring queries run between chunks).  Slow-mode generations stretch
+    the HTML transmission over a long window, which is what makes the
+    HTML's baseline degree of multiplexing so high -- and what the
+    jitter-only attack cannot beat, motivating the reset phase.
+    """
+
+    def __init__(self, fast_prob: float = 0.45, chunk_size: int = 2740,
+                 fast_initial_s: Tuple[float, float] = (0.008, 0.026),
+                 fast_gap_s: Tuple[float, float] = (0.0015, 0.004),
+                 slow_initial_s: Tuple[float, float] = (0.025, 0.060),
+                 slow_gap_s: Tuple[float, float] = (0.015, 0.050)):
+        self.fast_prob = fast_prob
+        self.chunk_size = chunk_size
+        self.fast_initial_s = fast_initial_s
+        self.fast_gap_s = fast_gap_s
+        self.slow_initial_s = slow_initial_s
+        self.slow_gap_s = slow_gap_s
+
+    def plan(self, rng, size: int) -> List[Tuple[float, int]]:
+        fast = rng.random() < self.fast_prob
+        initial = self.fast_initial_s if fast else self.slow_initial_s
+        gap = self.fast_gap_s if fast else self.slow_gap_s
+        schedule: List[Tuple[float, int]] = []
+        remaining = size
+        first = True
+        while remaining > 0:
+            chunk = min(self.chunk_size, remaining)
+            delay = rng.uniform(*initial) if first else rng.uniform(*gap)
+            schedule.append((delay, chunk))
+            remaining -= chunk
+            first = False
+        return schedule
+
+
+@dataclass
+class WebObject:
+    """One addressable resource on the site."""
+
+    path: str
+    size: int
+    content_type: str = "application/octet-stream"
+    #: ``None`` for static objects; a profile for dynamically generated
+    #: ones (which are also uncacheable).
+    generation: Optional[GenerationProfile] = None
+    #: Whether a browser may satisfy this object from its cache.
+    cacheable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"object {self.path} must have positive size")
+
+    @property
+    def is_dynamic(self) -> bool:
+        return self.generation is not None

@@ -1,0 +1,165 @@
+"""Event loop and random-stream tests."""
+
+import pytest
+
+from repro.simnet.engine import Simulator
+from repro.simnet.randomness import RandomStreams
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(0.3, fired.append, "c")
+    sim.schedule(0.1, fired.append, "a")
+    sim.schedule(0.2, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    sim = Simulator()
+    fired = []
+    for name in "abcde":
+        sim.schedule(1.0, fired.append, name)
+    sim.run()
+    assert fired == list("abcde")
+
+
+def test_clock_advances_to_event_times():
+    sim = Simulator()
+    seen = []
+    sim.schedule(2.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [2.5]
+    assert sim.now == 2.5
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "early")
+    sim.schedule(3.0, fired.append, "late")
+    sim.run(until=2.0)
+    assert fired == ["early"]
+    assert sim.now == 2.0
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_run_until_advances_clock_even_with_empty_queue():
+    sim = Simulator()
+    sim.run(until=7.0)
+    assert sim.now == 7.0
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "x")
+    handle.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    sim.run()
+
+
+def test_cannot_schedule_in_the_past():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.schedule_at(0.5, lambda: None)
+    with pytest.raises(ValueError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    fired = []
+
+    def outer():
+        fired.append("outer")
+        sim.schedule(0.5, fired.append, "inner")
+
+    sim.schedule(1.0, outer)
+    sim.run()
+    assert fired == ["outer", "inner"]
+    assert sim.now == 1.5
+
+
+def test_max_events_limits_execution():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(0.1 * (i + 1), fired.append, i)
+    sim.run(max_events=4)
+    assert fired == [0, 1, 2, 3]
+
+
+def test_simulator_not_reentrant():
+    sim = Simulator()
+
+    def reenter():
+        with pytest.raises(RuntimeError):
+            sim.run()
+
+    sim.schedule(0.1, reenter)
+    sim.run()
+
+
+def test_pending_events_counts_uncancelled():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    handle = sim.schedule(2.0, lambda: None)
+    handle.cancel()
+    assert sim.pending_events() == 1
+
+
+def test_processed_events_counter():
+    sim = Simulator()
+    for _ in range(5):
+        sim.schedule(0.1, lambda: None)
+    sim.run()
+    assert sim.processed_events == 5
+
+
+def test_named_streams_are_deterministic():
+    a = RandomStreams(42)
+    b = RandomStreams(42)
+    assert [a.get("x").random() for _ in range(5)] == \
+           [b.get("x").random() for _ in range(5)]
+
+
+def test_named_streams_are_independent():
+    streams = RandomStreams(42)
+    first = [streams.get("x").random() for _ in range(5)]
+    # Drawing from another stream must not perturb the first.
+    streams2 = RandomStreams(42)
+    streams2.get("y").random()
+    second = [streams2.get("x").random() for _ in range(5)]
+    assert first == second
+
+
+def test_different_seeds_differ():
+    a = RandomStreams(1).get("x").random()
+    b = RandomStreams(2).get("x").random()
+    assert a != b
+
+
+def test_fork_gives_independent_registry():
+    base = RandomStreams(7)
+    fork1 = base.fork("rep1")
+    fork2 = base.fork("rep2")
+    assert fork1.get("x").random() != fork2.get("x").random()
+
+
+def test_simulator_rng_is_stream_backed():
+    sim_a = Simulator(seed=5)
+    sim_b = Simulator(seed=5)
+    assert sim_a.rng("link").random() == sim_b.rng("link").random()

@@ -1,0 +1,80 @@
+"""The adversary's information boundary, enforced structurally.
+
+The paper's adversary is non-intrusive: cleartext headers and sizes
+only.  These tests pin the boundary down so refactors cannot quietly
+hand the attack code ground truth.
+"""
+
+import dataclasses
+import inspect
+
+import pytest
+
+from repro.simnet.packet import RecordInfo, TcpWireView, WireView
+
+
+def test_wireview_fields_are_cleartext_only():
+    field_names = {f.name for f in dataclasses.fields(WireView)}
+    assert field_names == {"pid", "src", "dst", "size", "tcp", "records",
+                           "is_retransmit"}
+
+
+def test_recordinfo_carries_no_plaintext():
+    field_names = {f.name for f in dataclasses.fields(RecordInfo)}
+    # Header-derivable facts only: no payload, no object reference.
+    assert field_names == {"record_id", "content_type", "record_wire_len",
+                           "bytes_in_packet", "is_start", "is_end"}
+    assert "payload" not in field_names
+
+
+def test_tcp_view_has_no_payload_reference():
+    field_names = {f.name for f in dataclasses.fields(TcpWireView)}
+    assert "slices" not in field_names
+    assert "payload" not in field_names
+
+
+@pytest.mark.parametrize("module_name", [
+    "repro.core.observer",
+    "repro.core.controller",
+    "repro.core.estimator",
+    "repro.core.predictor",
+    "repro.core.planner",
+    "repro.core.deinterleave",
+    "repro.core.wire",
+])
+def test_adversary_modules_never_import_ground_truth(module_name):
+    """Attack-side modules must not read the server's transmission log,
+    website objects, or frame plaintext."""
+    import importlib
+    module = importlib.import_module(module_name)
+    source = inspect.getsource(module)
+    forbidden = (
+        "tx_log",                      # server ground truth
+        "object_ref",                  # frame attribution
+        "repro.website",               # site internals
+        "frame.headers",               # plaintext header dicts
+        "record.payload",              # record plaintext
+    )
+    for token in forbidden:
+        assert token not in source, (module_name, token)
+
+
+def test_metrics_module_is_evaluation_only():
+    """The degree metric is allowed to read ground truth -- and the
+    attack pipeline must not call it."""
+    import inspect
+
+    import repro.core.adversary as adversary
+    source = inspect.getsource(adversary)
+    assert "degree_of_multiplexing" not in source
+
+
+def test_quic_wire_view_is_opaque():
+    from repro.quic.frames import QuicPacket, StreamFrame
+    from repro.simnet.packet import Packet
+    packet = Packet(src="a", dst="b", size=100,
+                    segment=QuicPacket(frames=(StreamFrame(0, 0, 50),)))
+    view = packet.wire_view()
+    assert view.tcp is None
+    assert view.records == ()
+    assert not view.is_retransmit

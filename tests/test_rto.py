@@ -1,0 +1,82 @@
+"""RTO estimator tests."""
+
+import pytest
+
+from repro.tcp.rto import RtoEstimator
+
+
+def test_initial_rto_before_samples():
+    est = RtoEstimator(initial_rto=1.0)
+    assert est.rto == 1.0
+
+
+def test_first_sample_initialises_srtt():
+    est = RtoEstimator(min_rto=0.0)
+    est.on_rtt_sample(0.1)
+    assert est.srtt == pytest.approx(0.1)
+    assert est.rttvar == pytest.approx(0.05)
+    assert est.rto == pytest.approx(0.1 + 4 * 0.05)
+
+
+def test_smoothing_converges_to_constant_rtt():
+    est = RtoEstimator(min_rto=0.0)
+    for _ in range(200):
+        est.on_rtt_sample(0.05)
+    assert est.srtt == pytest.approx(0.05, rel=0.01)
+    assert est.rttvar < 0.005
+
+
+def test_min_rto_floor():
+    est = RtoEstimator(min_rto=0.2)
+    for _ in range(50):
+        est.on_rtt_sample(0.01)
+    assert est.rto == 0.2
+
+
+def test_backoff_doubles_and_caps():
+    est = RtoEstimator(min_rto=0.2, backoff_cap=4)
+    base = est.rto
+    est.on_timeout()
+    assert est.rto == pytest.approx(base * 2)
+    est.on_timeout()
+    assert est.rto == pytest.approx(base * 4)
+    est.on_timeout()
+    assert est.rto == pytest.approx(base * 4)  # capped
+
+
+def test_new_ack_resets_backoff():
+    est = RtoEstimator(min_rto=0.2)
+    base = est.rto
+    est.on_timeout()
+    est.on_new_ack()
+    assert est.rto == pytest.approx(base)
+
+
+def test_max_rto_clamp():
+    est = RtoEstimator(min_rto=0.2, max_rto=1.0, backoff_cap=64)
+    for _ in range(10):
+        est.on_timeout()
+    assert est.rto == 1.0
+
+
+def test_spurious_timeout_doubles_base():
+    est = RtoEstimator(min_rto=0.0)
+    est.on_rtt_sample(0.1)
+    before = est.rto
+    est.on_spurious_timeout()
+    assert est.rto == pytest.approx(before * 2)
+
+
+def test_negative_sample_rejected():
+    est = RtoEstimator()
+    with pytest.raises(ValueError):
+        est.on_rtt_sample(-0.1)
+
+
+def test_variance_grows_with_jittery_samples():
+    est = RtoEstimator(min_rto=0.0)
+    est.on_rtt_sample(0.05)
+    smooth_var = est.rttvar
+    for rtt in (0.01, 0.2, 0.02, 0.3):
+        est.on_rtt_sample(rtt)
+    assert est.rttvar > smooth_var

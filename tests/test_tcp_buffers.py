@@ -1,0 +1,140 @@
+"""Send-buffer slicing and receive-buffer reassembly tests."""
+
+import pytest
+
+from repro.tcp.buffer import ReceiveBuffer, SendBuffer
+from repro.tls.record import APPLICATION_DATA, TlsRecord
+
+
+def record(n):
+    return TlsRecord(content_type=APPLICATION_DATA, payload_len=n - 21)
+
+
+def test_write_returns_monotonic_offsets():
+    buf = SendBuffer()
+    assert buf.write(record(100)) == 0
+    assert buf.write(record(50)) == 100
+    assert buf.total_written == 150
+
+
+def test_slice_whole_record():
+    buf = SendBuffer()
+    rec = record(100)
+    buf.write(rec)
+    slices = buf.slice_stream(0, 100)
+    assert len(slices) == 1
+    assert slices[0].record is rec
+    assert slices[0].is_start and slices[0].is_end
+
+
+def test_slice_spanning_records():
+    buf = SendBuffer()
+    first, second = record(100), record(100)
+    buf.write(first)
+    buf.write(second)
+    slices = buf.slice_stream(50, 100)
+    assert [s.record for s in slices] == [first, second]
+    assert slices[0].offset == 50 and slices[0].length == 50
+    assert not slices[0].is_start and slices[0].is_end
+    assert slices[1].offset == 0 and slices[1].length == 50
+    assert slices[1].is_start and not slices[1].is_end
+
+
+def test_slice_lengths_sum():
+    buf = SendBuffer()
+    for n in (64, 1400, 333, 1400):
+        buf.write(record(n))
+    slices = buf.slice_stream(10, 3000)
+    assert sum(s.length for s in slices) == 3000
+
+
+def test_slice_beyond_stream_raises():
+    buf = SendBuffer()
+    buf.write(record(100))
+    with pytest.raises(ValueError):
+        buf.slice_stream(50, 100)
+
+
+def test_release_prunes_acked_records():
+    buf = SendBuffer()
+    for _ in range(5):
+        buf.write(record(100))
+    buf.release(250)
+    assert buf.retained_records() == 3  # record at 200 is partially acked
+    # Remaining stream still sliceable.
+    slices = buf.slice_stream(250, 100)
+    assert sum(s.length for s in slices) == 100
+
+
+def test_slice_below_released_window_raises():
+    buf = SendBuffer()
+    for _ in range(3):
+        buf.write(record(100))
+    buf.release(200)
+    with pytest.raises(ValueError):
+        buf.slice_stream(0, 100)
+
+
+def make_receiver(deliver_duplicates=False):
+    delivered = []
+    buf = ReceiveBuffer(lambda slices, dup: delivered.append((slices, dup)),
+                        deliver_duplicates=deliver_duplicates)
+    return buf, delivered
+
+
+def seg_slices(rec):
+    from repro.tcp.segment import RecordSlice
+    return (RecordSlice(rec, 0, rec.wire_len),)
+
+
+def test_in_order_delivery():
+    buf, delivered = make_receiver()
+    rec = record(100)
+    assert buf.on_segment(0, 100, seg_slices(rec)) is True
+    assert buf.rcv_nxt == 100
+    assert len(delivered) == 1 and delivered[0][1] is False
+
+
+def test_out_of_order_buffered_then_drained():
+    buf, delivered = make_receiver()
+    r1, r2, r3 = record(100), record(100), record(100)
+    assert buf.on_segment(100, 100, seg_slices(r2)) is False
+    assert buf.on_segment(200, 100, seg_slices(r3)) is False
+    assert len(delivered) == 0
+    assert buf.on_segment(0, 100, seg_slices(r1)) is True
+    assert buf.rcv_nxt == 300
+    assert [s[0][0].record for s in delivered] == [r1, r2, r3]
+
+
+def test_duplicate_ignored_by_default():
+    buf, delivered = make_receiver()
+    rec = record(100)
+    buf.on_segment(0, 100, seg_slices(rec))
+    assert buf.on_segment(0, 100, seg_slices(rec)) is False
+    assert len(delivered) == 1
+    assert buf.duplicate_segments == 1
+
+
+def test_duplicate_redelivered_in_paper_mode():
+    buf, delivered = make_receiver(deliver_duplicates=True)
+    rec = record(100)
+    buf.on_segment(0, 100, seg_slices(rec))
+    buf.on_segment(0, 100, seg_slices(rec))
+    assert [dup for _, dup in delivered] == [False, True]
+
+
+def test_repeated_ooo_segment_not_double_buffered():
+    buf, delivered = make_receiver()
+    rec = record(100)
+    buf.on_segment(100, 100, seg_slices(rec))
+    buf.on_segment(100, 100, seg_slices(rec))
+    buf.on_segment(0, 100, seg_slices(record(100)))
+    # Drain delivers the buffered segment exactly once.
+    assert len(delivered) == 2
+
+
+def test_buffered_segments_counter():
+    buf, _ = make_receiver()
+    buf.on_segment(100, 100, seg_slices(record(100)))
+    buf.on_segment(300, 100, seg_slices(record(100)))
+    assert buf.buffered_segments() == 2
