@@ -1,14 +1,15 @@
 """E7b: defenses against the serialization attack (DESIGN.md E7)."""
 
-from benchmarks.conftest import bench_n
+from benchmarks.conftest import bench_jobs, bench_n
 from repro.experiments.defenses_eval import run_defenses
 
 
 def test_defenses(benchmark, show):
     n = bench_n(15)
-    result = benchmark.pedantic(lambda: run_defenses(n_per_defense=n),
-                                rounds=1, iterations=1)
-    show(result.table())
+    result = benchmark.pedantic(
+        lambda: run_defenses(n_per_defense=n, jobs=bench_jobs()),
+        rounds=1, iterations=1)
+    show(result.table(), result.telemetry)
     by_name = {o.name: o for o in result.outcomes}
     undefended = by_name["none"].sequence_accuracy_pct
     assert undefended >= 60.0

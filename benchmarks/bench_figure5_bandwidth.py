@@ -5,15 +5,16 @@ tightens; success peaks near 800 Mbps and collapses at 1 Mbps, where
 connections start breaking.
 """
 
-from benchmarks.conftest import bench_n
+from benchmarks.conftest import bench_jobs, bench_n
 from repro.experiments.figure5 import run_figure5
 
 
 def test_figure5_bandwidth(benchmark, show):
     n = bench_n(20)
-    result = benchmark.pedantic(lambda: run_figure5(n_per_point=n),
-                                rounds=1, iterations=1)
-    show(result.table())
+    result = benchmark.pedantic(
+        lambda: run_figure5(n_per_point=n, jobs=bench_jobs()),
+        rounds=1, iterations=1)
+    show(result.table(), result.telemetry)
     points = {p.bandwidth_bps: p for p in result.points}
     # The 1 Mbps point must visibly degrade the experience: broken loads
     # or much slower pages (the paper's "broken connection" regime).

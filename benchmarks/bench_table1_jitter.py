@@ -6,16 +6,17 @@ reproduces the non-mux column; netem-style jitter reproduces the
 retransmission inflation (see DESIGN.md on the two implementations).
 """
 
-from benchmarks.conftest import bench_n
+from benchmarks.conftest import bench_jobs, bench_n
 from repro.experiments.table1 import run_table1
 
 
 def test_table1_spacing_style(benchmark, show):
     n = bench_n(30)
     result = benchmark.pedantic(
-        lambda: run_table1(n_per_point=n, style="spacing"),
+        lambda: run_table1(n_per_point=n, style="spacing",
+                           jobs=bench_jobs()),
         rounds=1, iterations=1)
-    show(result.table())
+    show(result.table(), result.telemetry)
     nonmux = [p.nonmux_pct for p in result.points]
     # Rising from the baseline, then flattening (the paper's plateau).
     assert nonmux[1] > nonmux[0]
@@ -26,9 +27,10 @@ def test_table1_spacing_style(benchmark, show):
 def test_table1_netem_style(benchmark, show):
     n = bench_n(20)
     result = benchmark.pedantic(
-        lambda: run_table1(n_per_point=n, style="netem"),
+        lambda: run_table1(n_per_point=n, style="netem",
+                           jobs=bench_jobs()),
         rounds=1, iterations=1)
-    show(result.table())
+    show(result.table(), result.telemetry)
     retx = [p.mean_retransmissions for p in result.points]
     # Jitter inflates retransmissions well above baseline at every level.
     assert all(r > retx[0] + 3 for r in retx[1:])

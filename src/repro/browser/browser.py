@@ -255,7 +255,10 @@ class Browser:
         for request in self.plan.scripted:
             if not request.cached:
                 order.append(request.path)
-        for path in self._needed:
+        # Sorted: set iteration order depends on string hash
+        # randomization, which would make re-request order (and thus
+        # the whole run) vary across interpreter invocations.
+        for path in sorted(self._needed):
             if path not in order:
                 order.append(path)
         return order

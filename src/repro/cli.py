@@ -19,6 +19,29 @@ def _add_common(parser: argparse.ArgumentParser, default_n: int) -> None:
                         help="base seed (default 0)")
 
 
+#: Subcommands backed by the parallel runner (repro.experiments.runner).
+RUNNER_COMMANDS = ("table1", "figure5", "drops", "table2", "defenses")
+
+
+def _add_runner(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("-j", "--jobs", type=int, default=1,
+                        help="worker processes for the experiment grid "
+                             "(default 1; results are identical at any "
+                             "job count)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not write the on-disk run cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="run-cache location (default $REPRO_CACHE_DIR "
+                             "or ~/.cache/repro-runs)")
+
+
+def _runner_kwargs(args) -> dict:
+    from repro.experiments.runner import RunCache
+
+    cache = RunCache(root=args.cache_dir, enabled=not args.no_cache)
+    return {"jobs": args.jobs, "cache": cache}
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -40,6 +63,8 @@ def build_parser() -> argparse.ArgumentParser:
     ):
         cmd = sub.add_parser(name, help=help_text)
         _add_common(cmd, default_n)
+        if name in RUNNER_COMMANDS:
+            _add_runner(cmd)
         if name == "table1":
             cmd.add_argument("--style", choices=("spacing", "netem"),
                              default="spacing")
@@ -74,19 +99,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "table1":
         from repro.experiments.table1 import run_table1
         result = run_table1(n_per_point=args.loads, base_seed=args.seed,
-                            style=args.style)
+                            style=args.style, **_runner_kwargs(args))
     elif args.command == "figure5":
         from repro.experiments.figure5 import run_figure5
-        result = run_figure5(n_per_point=args.loads, base_seed=args.seed)
+        result = run_figure5(n_per_point=args.loads, base_seed=args.seed,
+                             **_runner_kwargs(args))
     elif args.command == "drops":
         from repro.experiments.drops import run_drops
-        result = run_drops(n_per_point=args.loads, base_seed=args.seed)
+        result = run_drops(n_per_point=args.loads, base_seed=args.seed,
+                           **_runner_kwargs(args))
     elif args.command == "table2":
         from repro.experiments.table2 import run_table2
-        result = run_table2(n_loads=args.loads, base_seed=args.seed)
+        result = run_table2(n_loads=args.loads, base_seed=args.seed,
+                            **_runner_kwargs(args))
     elif args.command == "defenses":
         from repro.experiments.defenses_eval import run_defenses
-        result = run_defenses(n_per_defense=args.loads, base_seed=args.seed)
+        result = run_defenses(n_per_defense=args.loads, base_seed=args.seed,
+                              **_runner_kwargs(args))
     elif args.command == "size-estimation":
         from repro.experiments.size_estimation import run_size_estimation
         result = run_size_estimation()
@@ -104,6 +133,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         raise SystemExit(2)
 
     print(result.table().to_text())
+    telemetry = getattr(result, "telemetry", None)
+    if telemetry is not None:
+        print(telemetry.line())
     return 0
 
 

@@ -3,6 +3,8 @@
 One module per paper artefact (see DESIGN.md's per-experiment index):
 
 * :mod:`repro.experiments.session` -- shared single-session runner.
+* :mod:`repro.experiments.runner` -- parallel grid runner with an
+  on-disk result cache (see docs/EXPERIMENTS_GUIDE.md).
 * :mod:`repro.experiments.evaluation` -- success criteria (Section V).
 * :mod:`repro.experiments.baseline` -- E1, baseline multiplexing.
 * :mod:`repro.experiments.table1` -- E2, jitter sweep (Table I).
@@ -19,6 +21,14 @@ One module per paper artefact (see DESIGN.md's per-experiment index):
 * :mod:`repro.experiments.viz` -- ASCII wire timelines.
 """
 
+from repro.experiments.runner import (
+    GridResult,
+    GridTelemetry,
+    RunCache,
+    RunResult,
+    RunSpec,
+    run_grid,
+)
 from repro.experiments.session import (
     SessionConfig,
     SessionResult,
@@ -28,4 +38,6 @@ from repro.experiments.session import (
 )
 
 __all__ = ["SessionConfig", "SessionResult", "isidewith_size_map",
-           "run_session", "run_sessions"]
+           "run_session", "run_sessions",
+           "GridResult", "GridTelemetry", "RunCache", "RunResult",
+           "RunSpec", "run_grid"]

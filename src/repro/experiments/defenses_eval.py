@@ -7,8 +7,8 @@ reports how much of the preference order survives.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.phases import AttackConfig
 from repro.defenses.morphing import MorphingDefense
@@ -17,6 +17,12 @@ from repro.defenses.push import push_client_settings, push_defense_server_config
 from repro.defenses.random_order import shuffle_scripted_requests
 from repro.experiments.evaluation import sequence_accuracy
 from repro.experiments.results import ResultTable
+from repro.experiments.runner import (
+    GridTelemetry,
+    RunCache,
+    RunSpec,
+    run_grid,
+)
 from repro.experiments.session import SessionConfig, run_session
 from repro.http2.server import Http2ServerConfig
 from repro.website.isidewith import (
@@ -24,6 +30,9 @@ from repro.website.isidewith import (
     PARTY_IMAGE_SIZES,
     build_isidewith_site,
 )
+
+#: Runner cell for one (seed, defense) grid point.
+CELL = "repro.experiments.defenses_eval:run_cell"
 
 
 @dataclass
@@ -42,6 +51,7 @@ class DefensesResult:
 
     n_per_defense: int
     outcomes: List[DefenseOutcome]
+    telemetry: Optional[GridTelemetry] = None
 
     def table(self) -> ResultTable:
         table = ResultTable(
@@ -84,24 +94,50 @@ DEFENSES = ("none", "padding", "morphing", "random-order", "push",
             "batching")
 
 
+def run_cell(seed: int, defense: str) -> dict:
+    """One attacked load under one defense (JSON-able metrics).
+
+    The spec carries the defense *name*, never the configured
+    :class:`SessionConfig` -- the config holds callables and server
+    objects that neither pickle for workers nor hash for the cache.
+    """
+    result = run_session(_session_config(seed, defense))
+    identified = (result.report is not None
+                  and "html" in result.report.predicted_labels)
+    return {
+        "sequence_accuracy": sequence_accuracy(result),
+        "html_identified": bool(identified),
+        "load_ok": bool(result.load is not None and result.load.success),
+        "sim_time_s": result.duration_s,
+        "processed_events": result.processed_events,
+    }
+
+
 def run_defenses(n_per_defense: int = 30, base_seed: int = 0,
-                 defenses=DEFENSES) -> DefensesResult:
+                 defenses: Sequence[str] = DEFENSES,
+                 jobs: Optional[int] = None,
+                 cache: Optional[RunCache] = None) -> DefensesResult:
     """Run the attack under each defense."""
+    specs = [RunSpec.make(CELL, base_seed + i, defense=defense)
+             for defense in defenses for i in range(n_per_defense)]
+    grid = run_grid(specs, jobs=jobs, cache=cache)
+
+    by_defense: Dict[str, List[dict]] = {d: [] for d in defenses}
+    for result in grid:
+        by_defense[result.spec.kwargs()["defense"]].append(result.metrics)
+
     outcomes: List[DefenseOutcome] = []
     for defense in defenses:
-        sequence_total = 0.0
-        html_identified = 0
-        load_ok = 0
-        for i in range(n_per_defense):
-            result = run_session(_session_config(base_seed + i, defense))
-            sequence_total += sequence_accuracy(result)
-            if result.report is not None:
-                html_identified += "html" in result.report.predicted_labels
-            load_ok += (result.load is not None and result.load.success)
+        cells = by_defense[defense]
         outcomes.append(DefenseOutcome(
             name=defense,
-            sequence_accuracy_pct=100.0 * sequence_total / n_per_defense,
-            html_identified_pct=100.0 * html_identified / n_per_defense,
-            load_success_pct=100.0 * load_ok / n_per_defense,
+            sequence_accuracy_pct=100.0 * sum(c["sequence_accuracy"]
+                                              for c in cells)
+                                  / n_per_defense,
+            html_identified_pct=100.0 * sum(c["html_identified"]
+                                            for c in cells) / n_per_defense,
+            load_success_pct=100.0 * sum(c["load_ok"]
+                                         for c in cells) / n_per_defense,
         ))
-    return DefensesResult(n_per_defense=n_per_defense, outcomes=outcomes)
+    return DefensesResult(n_per_defense=n_per_defense, outcomes=outcomes,
+                          telemetry=GridTelemetry().add(grid))

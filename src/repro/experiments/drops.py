@@ -10,12 +10,21 @@ higher breaks the connection instead.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.phases import AttackConfig
 from repro.experiments.results import ResultTable
+from repro.experiments.runner import (
+    GridTelemetry,
+    RunCache,
+    RunSpec,
+    run_grid,
+)
 from repro.experiments.session import SessionConfig, run_session
 from repro.website.isidewith import HTML_PATH
+
+#: Runner cell for one (seed, drop rate) grid point.
+CELL = "repro.experiments.drops:run_cell"
 
 
 @dataclass
@@ -35,6 +44,7 @@ class DropsResult:
 
     n_per_point: int
     points: List[DropPoint]
+    telemetry: Optional[GridTelemetry] = None
 
     def table(self) -> ResultTable:
         table = ResultTable(
@@ -48,30 +58,47 @@ class DropsResult:
         return table
 
 
+def run_cell(seed: int, drop_rate: float) -> dict:
+    """One attacked load at one drop rate (JSON-able metrics)."""
+    attack = replace(AttackConfig(), drop_rate=drop_rate)
+    result = run_session(SessionConfig(seed=seed, attack=attack))
+    identified = (result.report is not None
+                  and "html" in result.report.predicted_labels)
+    return {
+        "serialized": bool(result.serialized(HTML_PATH)),
+        "identified": bool(identified),
+        "reset": bool(result.load is not None and result.load.resets > 0),
+        "broken": bool(result.broken),
+        "sim_time_s": result.duration_s,
+        "processed_events": result.processed_events,
+    }
+
+
 def run_drops(n_per_point: int = 100, base_seed: int = 0,
               drop_rates: Sequence[float] = (0.5, 0.8, 0.95),
-              ) -> DropsResult:
+              jobs: Optional[int] = None,
+              cache: Optional[RunCache] = None) -> DropsResult:
     """Sweep the drop rate; 0.8 is the paper's setting."""
+    specs = [RunSpec.make(CELL, base_seed + i, drop_rate=rate)
+             for rate in drop_rates for i in range(n_per_point)]
+    grid = run_grid(specs, jobs=jobs, cache=cache)
+
+    by_rate: Dict[float, List[dict]] = {r: [] for r in drop_rates}
+    for result in grid:
+        by_rate[result.spec.kwargs()["drop_rate"]].append(result.metrics)
+
     points: List[DropPoint] = []
     for rate in drop_rates:
-        serialized = 0
-        identified = 0
-        resets = 0
-        broken = 0
-        for i in range(n_per_point):
-            attack = replace(AttackConfig(), drop_rate=rate)
-            result = run_session(SessionConfig(seed=base_seed + i,
-                                               attack=attack))
-            serialized += result.serialized(HTML_PATH)
-            if result.report is not None:
-                identified += "html" in result.report.predicted_labels
-            resets += (result.load is not None and result.load.resets > 0)
-            broken += result.broken
+        cells = by_rate[rate]
         points.append(DropPoint(
             drop_rate=rate,
-            html_serialized_pct=100.0 * serialized / n_per_point,
-            html_identified_pct=100.0 * identified / n_per_point,
-            reset_happened_pct=100.0 * resets / n_per_point,
-            broken_pct=100.0 * broken / n_per_point,
+            html_serialized_pct=100.0 * sum(c["serialized"]
+                                            for c in cells) / n_per_point,
+            html_identified_pct=100.0 * sum(c["identified"]
+                                            for c in cells) / n_per_point,
+            reset_happened_pct=100.0 * sum(c["reset"]
+                                           for c in cells) / n_per_point,
+            broken_pct=100.0 * sum(c["broken"] for c in cells) / n_per_point,
         ))
-    return DropsResult(n_per_point=n_per_point, points=points)
+    return DropsResult(n_per_point=n_per_point, points=points,
+                       telemetry=GridTelemetry().add(grid))

@@ -10,15 +10,24 @@ HTML non-multiplexed peaking around 800 Mbps and degrading toward
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.phases import jitter_plus_throttle_config
 from repro.experiments.results import ResultTable
+from repro.experiments.runner import (
+    GridTelemetry,
+    RunCache,
+    RunSpec,
+    run_grid,
+)
 from repro.experiments.session import SessionConfig, run_session
 from repro.website.isidewith import HTML_PATH
 
 #: The paper's bandwidth points (bits per second).
 BANDWIDTH_VALUES_BPS = (1_000e6, 800e6, 500e6, 100e6, 1e6)
+
+#: Runner cell for one (seed, jitter, bandwidth) grid point.
+CELL = "repro.experiments.figure5:run_cell"
 
 
 @dataclass
@@ -39,6 +48,7 @@ class Figure5Result:
     n_per_point: int
     jitter_s: float
     points: List[BandwidthPoint]
+    telemetry: Optional[GridTelemetry] = None
 
     def table(self) -> ResultTable:
         table = ResultTable(
@@ -56,36 +66,57 @@ class Figure5Result:
         return table
 
 
+def run_cell(seed: int, jitter_s: float, bandwidth_bps: float) -> dict:
+    """One simulated load at one throttle setting (JSON-able metrics)."""
+    attack = jitter_plus_throttle_config(jitter_s, bandwidth_bps)
+    result = run_session(SessionConfig(seed=seed, attack=attack))
+    try:
+        nonmux = bool(result.degree(HTML_PATH) == 0.0)
+        observed = True
+    except KeyError:
+        nonmux = False
+        observed = False
+    return {
+        "nonmux": nonmux,
+        "observed": observed,
+        "retransmissions": result.retransmissions,
+        "broken": bool(result.broken),
+        "duration_s": result.duration_s,
+        "sim_time_s": result.duration_s,
+        "processed_events": result.processed_events,
+    }
+
+
 def run_figure5(n_per_point: int = 100, base_seed: int = 0,
                 jitter_s: float = 0.05,
                 bandwidths: Sequence[float] = BANDWIDTH_VALUES_BPS,
-                ) -> Figure5Result:
+                jobs: Optional[int] = None,
+                cache: Optional[RunCache] = None) -> Figure5Result:
     """Run the Fig. 5 sweep."""
+    specs = [RunSpec.make(CELL, base_seed + i, jitter_s=jitter_s,
+                          bandwidth_bps=bandwidth)
+             for bandwidth in bandwidths for i in range(n_per_point)]
+    grid = run_grid(specs, jobs=jobs, cache=cache)
+
+    by_bandwidth: Dict[float, List[dict]] = {b: [] for b in bandwidths}
+    for result in grid:
+        by_bandwidth[result.spec.kwargs()["bandwidth_bps"]].append(
+            result.metrics)
+
     points: List[BandwidthPoint] = []
     for bandwidth in bandwidths:
-        nonmux = 0
-        observed = 0
-        retx = 0
-        broken = 0
-        duration = 0.0
-        for i in range(n_per_point):
-            attack = jitter_plus_throttle_config(jitter_s, bandwidth)
-            result = run_session(SessionConfig(seed=base_seed + i,
-                                               attack=attack))
-            retx += result.retransmissions
-            broken += result.broken
-            duration += result.duration_s
-            try:
-                nonmux += result.degree(HTML_PATH) == 0.0
-                observed += 1
-            except KeyError:
-                pass
+        cells = by_bandwidth[bandwidth]
+        nonmux = sum(c["nonmux"] for c in cells)
+        observed = sum(c["observed"] for c in cells)
         points.append(BandwidthPoint(
             bandwidth_bps=bandwidth,
             nonmux_pct=100.0 * nonmux / max(1, observed),
-            mean_retransmissions=retx / n_per_point,
-            broken_pct=100.0 * broken / n_per_point,
-            mean_duration_s=duration / n_per_point,
+            mean_retransmissions=sum(c["retransmissions"]
+                                     for c in cells) / n_per_point,
+            broken_pct=100.0 * sum(c["broken"] for c in cells) / n_per_point,
+            mean_duration_s=sum(c["duration_s"]
+                                for c in cells) / n_per_point,
         ))
     return Figure5Result(n_per_point=n_per_point, jitter_s=jitter_s,
-                         points=points)
+                         points=points,
+                         telemetry=GridTelemetry().add(grid))

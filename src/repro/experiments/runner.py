@@ -1,0 +1,374 @@
+"""Parallel experiment harness with an on-disk result cache.
+
+Every paper artefact is an average over many independent simulated
+downloads, and each download is a pure function of its
+:class:`~repro.experiments.runner.RunSpec` (the simulator guarantees a
+run is a pure function of its seed -- see :mod:`repro.simnet.engine`).
+That purity buys two things:
+
+* **fan-out** -- cells of an experiment grid can run in worker
+  processes (:class:`concurrent.futures.ProcessPoolExecutor`) in any
+  order without changing the aggregated result, and
+* **memoization** -- a completed cell can be cached on disk, keyed by
+  a content hash of its spec plus a fingerprint of the package source,
+  so re-running a benchmark or resuming an interrupted sweep only
+  executes the missing cells.
+
+An experiment expresses itself as a list of :class:`RunSpec`s and calls
+:func:`run_grid`; aggregation happens on the plain-dict metrics each
+cell returns.  Cell functions are addressed by dotted path
+(``"repro.experiments.table1:run_cell"``) so worker processes can
+resolve them without a registry, and they must return JSON-serialisable
+dicts so records survive the cache round-trip unchanged.
+
+Telemetry: every :class:`RunResult` carries wall time and, when the
+cell reports them (the session-based cells all do), simulated time and
+the simulator's executed-event count -- so perf regressions show up in
+benchmark output rather than only in wall-clock noise.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+import os
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Bump to invalidate every cached record regardless of source changes.
+CACHE_FORMAT = 1
+
+_JSON_SCALARS = (str, int, float, bool, type(None))
+
+
+def _check_jsonable(value: Any, where: str) -> None:
+    if isinstance(value, _JSON_SCALARS):
+        return
+    if isinstance(value, (list, tuple)):
+        for item in value:
+            _check_jsonable(item, where)
+        return
+    if isinstance(value, dict):
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise TypeError(f"{where}: dict keys must be str, got {key!r}")
+            _check_jsonable(item, where)
+        return
+    raise TypeError(f"{where}: {value!r} is not JSON-serialisable")
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One cell of an experiment grid.
+
+    A spec is declarative on purpose: a dotted path to a top-level cell
+    function plus JSON-serialisable parameters.  That keeps it picklable
+    for worker processes and hashable for the cache key -- a
+    :class:`~repro.experiments.session.SessionConfig` (which holds
+    callables) never crosses a process or cache boundary.
+    """
+
+    #: Dotted path ``"package.module:function"`` of the cell function.
+    fn: str
+    #: Master seed for the cell's simulator.
+    seed: int
+    #: Sorted ``(name, value)`` pairs of keyword arguments for the cell.
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(cls, fn: str, seed: int, **params: Any) -> "RunSpec":
+        """Build a spec, validating that ``params`` survive JSON."""
+        _check_jsonable(dict(params), f"RunSpec({fn})")
+        return cls(fn=fn, seed=seed,
+                   params=tuple(sorted(params.items())))
+
+    def kwargs(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"fn": self.fn, "seed": self.seed, "params": self.kwargs()}
+
+    def key(self, version: str) -> str:
+        """Content-addressed cache key: hash of spec + code version."""
+        payload = json.dumps({"spec": self.to_dict(), "version": version,
+                              "format": CACHE_FORMAT}, sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclass
+class RunResult:
+    """One completed (or cache-recalled) cell."""
+
+    spec: RunSpec
+    metrics: Dict[str, Any]
+    wall_time_s: float
+    sim_time_s: float
+    processed_events: int
+    cached: bool
+
+    def to_record(self) -> Dict[str, Any]:
+        return {"spec": self.spec.to_dict(), "metrics": self.metrics,
+                "wall_time_s": self.wall_time_s,
+                "sim_time_s": self.sim_time_s,
+                "processed_events": self.processed_events}
+
+
+@dataclass
+class GridResult:
+    """All cells of one grid, in spec order."""
+
+    results: List[RunResult]
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def metrics(self) -> List[Dict[str, Any]]:
+        return [r.metrics for r in self.results]
+
+    @property
+    def executed(self) -> int:
+        """Cells that actually ran a simulator this invocation."""
+        return sum(1 for r in self.results if not r.cached)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.results if r.cached)
+
+    @property
+    def wall_time_s(self) -> float:
+        return sum(r.wall_time_s for r in self.results)
+
+    @property
+    def sim_time_s(self) -> float:
+        return sum(r.sim_time_s for r in self.results)
+
+    @property
+    def processed_events(self) -> int:
+        return sum(r.processed_events for r in self.results)
+
+@dataclass
+class GridTelemetry:
+    """Accumulated run telemetry across one or more grids.
+
+    Experiments attach one of these to their result object so the CLI
+    and benchmarks can report how much work a sweep actually did --
+    and, via ``executed``, prove a warm cache ran zero simulators.
+    """
+
+    cells: int = 0
+    executed: int = 0
+    cached: int = 0
+    processed_events: int = 0
+    sim_time_s: float = 0.0
+    wall_time_s: float = 0.0
+
+    def add(self, grid: "GridResult") -> "GridTelemetry":
+        self.cells += len(grid)
+        self.executed += grid.executed
+        self.cached += grid.cache_hits
+        self.processed_events += grid.processed_events
+        self.sim_time_s += grid.sim_time_s
+        self.wall_time_s += grid.wall_time_s
+        return self
+
+    def line(self) -> str:
+        """One-line run summary for CLI / benchmark output."""
+        return (f"runner: {self.cells} cells "
+                f"({self.executed} executed, {self.cached} cached), "
+                f"{self.processed_events} events, "
+                f"sim {self.sim_time_s:.1f}s in wall {self.wall_time_s:.1f}s")
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro-runs``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env).expanduser()
+    return Path("~/.cache/repro-runs").expanduser()
+
+
+_code_version_cache: Optional[str] = None
+
+
+def code_version() -> str:
+    """Fingerprint of the installed ``repro`` package source.
+
+    Hashes the content of every ``*.py`` file under the package root so
+    any source change invalidates cached records.  Computed once per
+    process.
+    """
+    global _code_version_cache
+    if _code_version_cache is None:
+        import repro
+
+        root = Path(repro.__file__).parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(path.relative_to(root).as_posix().encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+        _code_version_cache = digest.hexdigest()[:16]
+    return _code_version_cache
+
+
+class RunCache:
+    """Content-addressed on-disk store of completed run records.
+
+    One JSON file per record, named by the spec's cache key; writes are
+    atomic (temp file + rename) so a killed sweep never leaves a
+    corrupt record behind, and a re-run simply fills in missing cells.
+    """
+
+    def __init__(self, root: Optional[Path] = None, enabled: bool = True):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.enabled = enabled
+
+    def _path(self, key: str) -> Path:
+        # Shard by the first two hex chars to keep directories small.
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        if not self.enabled:
+            return None
+        path = self._path(key)
+        try:
+            with path.open() as handle:
+                return json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def put(self, key: str, record: Dict[str, Any]) -> None:
+        if not self.enabled:
+            return
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".{os.getpid()}.tmp")
+            with tmp.open("w") as handle:
+                json.dump(record, handle)
+            tmp.replace(path)
+        except OSError as exc:
+            # An unwritable cache must not kill a sweep that already
+            # has results in hand; degrade to uncached runs, once.
+            self.enabled = False
+            print(f"repro: run cache disabled ({exc})", file=sys.stderr)
+
+    @classmethod
+    def disabled(cls) -> "RunCache":
+        return cls(enabled=False)
+
+
+def resolve_cell(fn: str):
+    """Import and return the cell function named by ``fn``."""
+    module_name, _, attr = fn.partition(":")
+    if not attr:
+        raise ValueError(f"cell path {fn!r} must look like 'module:function'")
+    module = importlib.import_module(module_name)
+    return getattr(module, attr)
+
+
+def execute_spec(spec: RunSpec) -> RunResult:
+    """Run one cell in the current process (the worker entry point)."""
+    cell = resolve_cell(spec.fn)
+    start = time.perf_counter()
+    metrics = cell(spec.seed, **spec.kwargs())
+    wall = time.perf_counter() - start
+    if not isinstance(metrics, dict):
+        raise TypeError(f"cell {spec.fn} returned {type(metrics).__name__}, "
+                        f"expected dict")
+    _check_jsonable(metrics, f"metrics of {spec.fn}")
+    return RunResult(
+        spec=spec,
+        metrics=metrics,
+        wall_time_s=wall,
+        sim_time_s=float(metrics.get("sim_time_s", 0.0)),
+        processed_events=int(metrics.get("processed_events", 0)),
+        cached=False,
+    )
+
+
+def _result_from_record(spec: RunSpec, record: Dict[str, Any]) -> RunResult:
+    return RunResult(
+        spec=spec,
+        metrics=record["metrics"],
+        wall_time_s=record.get("wall_time_s", 0.0),
+        sim_time_s=record.get("sim_time_s", 0.0),
+        processed_events=record.get("processed_events", 0),
+        cached=True,
+    )
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """``jobs`` argument -> worker count (``None``/0 -> 1)."""
+    if jobs is None or jobs <= 0:
+        return 1
+    return jobs
+
+
+def run_grid(specs: Iterable[RunSpec], *, jobs: Optional[int] = None,
+             cache: Optional[RunCache] = None) -> GridResult:
+    """Execute a grid of specs, reusing cached cells, in spec order.
+
+    Aggregated output is independent of ``jobs``: cells are pure
+    functions of their spec, and results are returned in the order the
+    specs were given regardless of completion order.
+    """
+    specs = list(specs)
+    if cache is None:
+        cache = RunCache()
+    jobs = resolve_jobs(jobs)
+    version = code_version()
+
+    keys = [spec.key(version) for spec in specs]
+    results: List[Optional[RunResult]] = []
+    misses: List[int] = []
+    for i, (spec, key) in enumerate(zip(specs, keys)):
+        record = cache.get(key)
+        if record is not None:
+            results.append(_result_from_record(spec, record))
+        else:
+            results.append(None)
+            misses.append(i)
+
+    if misses:
+        if jobs == 1 or len(misses) == 1:
+            fresh = [execute_spec(specs[i]) for i in misses]
+        else:
+            with ProcessPoolExecutor(max_workers=min(jobs,
+                                                     len(misses))) as pool:
+                fresh = list(pool.map(execute_spec,
+                                      [specs[i] for i in misses]))
+        for i, result in zip(misses, fresh):
+            cache.put(keys[i], result.to_record())
+            results[i] = result
+
+    return GridResult(results=[r for r in results if r is not None])
+
+
+def grid(fn: str, seeds: Iterable[int], **param_grid: Any) -> List[RunSpec]:
+    """Cartesian product helper: one spec per (seed x param combo).
+
+    ``param_grid`` values that are lists/tuples are swept; scalars are
+    held fixed.  Sweep order is the order the keyword arguments appear,
+    innermost being the seed, matching the serial loops the experiments
+    used before the runner existed.
+    """
+    combos: List[Dict[str, Any]] = [{}]
+    for name, values in param_grid.items():
+        if not isinstance(values, (list, tuple)):
+            values = [values]
+        combos = [dict(combo, **{name: value})
+                  for combo in combos for value in values]
+    return [RunSpec.make(fn, seed, **combo)
+            for combo in combos for seed in seeds]

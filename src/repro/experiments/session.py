@@ -77,6 +77,8 @@ class SessionResult:
     duration_s: float
     retransmissions_c2s: int
     retransmissions_s2c: int
+    #: Events the simulator executed (perf telemetry for the runner).
+    processed_events: int = 0
 
     @property
     def permutation(self):
@@ -176,6 +178,7 @@ def run_session(config: SessionConfig) -> SessionResult:
         duration_s=sim.now,
         retransmissions_c2s=len(trace.retransmitted_packets(CLIENT_TO_SERVER)),
         retransmissions_s2c=len(trace.retransmitted_packets(SERVER_TO_CLIENT)),
+        processed_events=sim.processed_events,
     )
 
 

@@ -24,6 +24,12 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.phases import jitter_only_config
 from repro.experiments.results import ResultTable
+from repro.experiments.runner import (
+    GridTelemetry,
+    RunCache,
+    RunSpec,
+    run_grid,
+)
 from repro.experiments.session import SessionConfig, run_session
 from repro.website.isidewith import HTML_PATH
 
@@ -33,6 +39,9 @@ JITTER_VALUES_S = (0.0, 0.025, 0.05, 0.1)
 #: Paper's Table I for the comparison columns.
 PAPER_NONMUX_PCT = {0.0: 32, 0.025: 46, 0.05: 54, 0.1: 54}
 PAPER_RETX_INCREASE_PCT = {0.0: 0, 0.025: 33, 0.05: 130, 0.1: 194}
+
+#: Runner cell for one (seed, jitter, style) grid point.
+CELL = "repro.experiments.table1:run_cell"
 
 
 @dataclass
@@ -53,6 +62,7 @@ class Table1Result:
     style: str
     n_per_point: int
     points: List[JitterPoint]
+    telemetry: Optional[GridTelemetry] = None
 
     def table(self) -> ResultTable:
         table = ResultTable(
@@ -71,29 +81,48 @@ class Table1Result:
         return table
 
 
+def run_cell(seed: int, jitter_s: float, style: str) -> dict:
+    """One simulated load at one jitter setting (JSON-able metrics)."""
+    attack = jitter_only_config(jitter_s, style) if jitter_s > 0 else None
+    result = run_session(SessionConfig(seed=seed, attack=attack))
+    try:
+        nonmux = bool(result.degree(HTML_PATH) == 0.0)
+        observed = True
+    except KeyError:
+        nonmux = False
+        observed = False
+    return {
+        "nonmux": nonmux,
+        "observed": observed,
+        "retransmissions": result.retransmissions,
+        "broken": bool(result.broken),
+        "sim_time_s": result.duration_s,
+        "processed_events": result.processed_events,
+    }
+
+
 def run_table1(n_per_point: int = 100, base_seed: int = 0,
                style: str = "spacing",
                jitter_values: Sequence[float] = JITTER_VALUES_S,
-               ) -> Table1Result:
+               jobs: Optional[int] = None,
+               cache: Optional[RunCache] = None) -> Table1Result:
     """Run the Table I sweep for one jitter style."""
+    specs = [RunSpec.make(CELL, base_seed + i, jitter_s=jitter, style=style)
+             for jitter in jitter_values for i in range(n_per_point)]
+    grid = run_grid(specs, jobs=jobs, cache=cache)
+
+    by_jitter: Dict[float, List[dict]] = {j: [] for j in jitter_values}
+    for result in grid:
+        by_jitter[result.spec.kwargs()["jitter_s"]].append(result.metrics)
+
     points: List[JitterPoint] = []
     baseline_retx: Optional[float] = None
     for jitter in jitter_values:
-        nonmux = 0
-        observed = 0
-        retx = 0
-        broken = 0
-        for i in range(n_per_point):
-            attack = jitter_only_config(jitter, style) if jitter > 0 else None
-            result = run_session(SessionConfig(seed=base_seed + i,
-                                               attack=attack))
-            retx += result.retransmissions
-            broken += result.broken
-            try:
-                nonmux += result.degree(HTML_PATH) == 0.0
-                observed += 1
-            except KeyError:
-                pass
+        cells = by_jitter[jitter]
+        nonmux = sum(c["nonmux"] for c in cells)
+        observed = sum(c["observed"] for c in cells)
+        retx = sum(c["retransmissions"] for c in cells)
+        broken = sum(c["broken"] for c in cells)
         mean_retx = retx / n_per_point
         if baseline_retx is None:
             baseline_retx = max(mean_retx, 0.01)
@@ -107,4 +136,5 @@ def run_table1(n_per_point: int = 100, base_seed: int = 0,
             retx_increase_pct=increase,
             broken_pct=100.0 * broken / n_per_point,
         ))
-    return Table1Result(style=style, n_per_point=n_per_point, points=points)
+    return Table1Result(style=style, n_per_point=n_per_point, points=points,
+                        telemetry=GridTelemetry().add(grid))

@@ -12,8 +12,8 @@ all        90    90   85   81   80   62   64   78   64
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional
 
 from repro.core.phases import AttackConfig
 from repro.experiments.evaluation import (
@@ -22,6 +22,12 @@ from repro.experiments.evaluation import (
     evaluate_table2,
 )
 from repro.experiments.results import ResultTable
+from repro.experiments.runner import (
+    GridTelemetry,
+    RunCache,
+    RunSpec,
+    run_grid,
+)
 from repro.experiments.session import SessionConfig, run_session
 
 PAPER_SINGLE = (100, 100, 100, 100, 100, 100, 100, 100, 100)
@@ -29,6 +35,10 @@ PAPER_ALL = (90, 90, 85, 81, 80, 62, 64, 78, 64)
 OBJECT_LABELS = ("HTML", "I1", "I2", "I3", "I4", "I5", "I6", "I7", "I8")
 #: Table II row 1: T(Req O_curr) - T(Req O_prev) in milliseconds.
 PAPER_GAP_PREV_MS = (500, 780, 0.4, 2, 0.3, 0.1, 0.3, 2, 0.5)
+
+#: Runner cells: one attacked load / one clean profiling load.
+CELL = "repro.experiments.table2:run_cell"
+GAP_CELL = "repro.experiments.table2:run_gap_cell"
 
 
 @dataclass
@@ -42,6 +52,7 @@ class Table2Result:
     mean_resets: float
     #: Measured natural inter-request gaps (ms), Table II row 1.
     gap_prev_ms: List[float]
+    telemetry: Optional[GridTelemetry] = None
 
     def table(self) -> ResultTable:
         table = ResultTable(
@@ -57,43 +68,82 @@ class Table2Result:
         return table
 
 
-def measure_natural_gaps(n_loads: int = 10,
-                         base_seed: int = 5000) -> List[float]:
+def run_cell(seed: int) -> dict:
+    """One attacked load evaluated against the Table II criteria."""
+    result = run_session(SessionConfig(seed=seed, attack=AttackConfig()))
+    return {
+        "outcome": asdict(evaluate_table2(result)),
+        "sim_time_s": result.duration_s,
+        "processed_events": result.processed_events,
+    }
+
+
+def run_gap_cell(seed: int) -> dict:
+    """One clean load's natural inter-request gaps (ms) per slot.
+
+    Slots are HTML then I1..I8; a slot is ``None`` when its object was
+    the first request or never requested (e.g. warm-cache loads).
+    """
+    from repro.website.isidewith import HTML_PATH, IsideWithSite
+
+    result = run_session(SessionConfig(seed=seed))
+    events = [e for e in result.load.requests if not e.is_rerequest]
+    times = {e.path: e.time for e in events}
+    ordered = sorted(events, key=lambda e: e.time)
+    positions = {e.path: k for k, e in enumerate(ordered)}
+    targets = [HTML_PATH] + [IsideWithSite.image_path(p)
+                             for p in result.permutation]
+    gaps: List[Optional[float]] = []
+    for path in targets:
+        position = positions.get(path)
+        if position is None or position == 0:
+            gaps.append(None)
+        else:
+            gaps.append((times[path] - ordered[position - 1].time) * 1000.0)
+    return {
+        "gaps_ms": gaps,
+        "sim_time_s": result.duration_s,
+        "processed_events": result.processed_events,
+    }
+
+
+def measure_natural_gaps(n_loads: int = 10, base_seed: int = 5000,
+                         jobs: Optional[int] = None,
+                         cache: Optional[RunCache] = None,
+                         telemetry: Optional[GridTelemetry] = None,
+                         ) -> List[float]:
     """Mean natural inter-request gaps (ms) for HTML and I1..I8.
 
     Measured over clean (un-attacked) loads, exactly as the paper's
     adversary profiled its target before tuning the jitter
     (assumption 4 of Section III).
     """
-    from repro.website.isidewith import HTML_PATH, IsideWithSite
+    specs = [RunSpec.make(GAP_CELL, base_seed + i) for i in range(n_loads)]
+    grid = run_grid(specs, jobs=jobs, cache=cache)
+    if telemetry is not None:
+        telemetry.add(grid)
 
     sums = [0.0] * 9
     counts = [0] * 9
-    for i in range(n_loads):
-        result = run_session(SessionConfig(seed=base_seed + i))
-        events = [e for e in result.load.requests if not e.is_rerequest]
-        times = {e.path: e.time for e in events}
-        ordered = sorted(events, key=lambda e: e.time)
-        positions = {e.path: k for k, e in enumerate(ordered)}
-        targets = [HTML_PATH] + [IsideWithSite.image_path(p)
-                                 for p in result.permutation]
-        for slot, path in enumerate(targets):
-            position = positions.get(path)
-            if position is None or position == 0:
+    for metrics in grid.metrics():
+        for slot, gap in enumerate(metrics["gaps_ms"]):
+            if gap is None:
                 continue
-            gap = times[path] - ordered[position - 1].time
-            sums[slot] += gap * 1000.0
+            sums[slot] += gap
             counts[slot] += 1
     return [sums[i] / counts[i] if counts[i] else 0.0 for i in range(9)]
 
 
-def run_table2(n_loads: int = 100, base_seed: int = 0) -> Table2Result:
+def run_table2(n_loads: int = 100, base_seed: int = 0,
+               jobs: Optional[int] = None,
+               cache: Optional[RunCache] = None) -> Table2Result:
     """Run the full attack over many volunteer sessions."""
-    outcomes: List[Table2Outcome] = []
-    for i in range(n_loads):
-        result = run_session(SessionConfig(seed=base_seed + i,
-                                           attack=AttackConfig()))
-        outcomes.append(evaluate_table2(result))
+    specs = [RunSpec.make(CELL, base_seed + i) for i in range(n_loads)]
+    grid = run_grid(specs, jobs=jobs, cache=cache)
+    telemetry = GridTelemetry().add(grid)
+
+    outcomes = [Table2Outcome(**metrics["outcome"])
+                for metrics in grid.metrics()]
     aggregated = aggregate_table2(outcomes)
     return Table2Result(
         n=aggregated["n"],
@@ -101,5 +151,8 @@ def run_table2(n_loads: int = 100, base_seed: int = 0) -> Table2Result:
         all_pct=aggregated["all"],
         broken_pct=aggregated["broken_pct"],
         mean_resets=aggregated["mean_resets"],
-        gap_prev_ms=measure_natural_gaps(min(10, max(3, n_loads // 4))),
+        gap_prev_ms=measure_natural_gaps(min(10, max(3, n_loads // 4)),
+                                         jobs=jobs, cache=cache,
+                                         telemetry=telemetry),
+        telemetry=telemetry,
     )

@@ -21,20 +21,26 @@ from repro.simnet.randomness import RandomStreams
 class EventHandle:
     """Cancellable handle for a scheduled event."""
 
-    __slots__ = ("when", "seq", "callback", "args", "cancelled")
+    __slots__ = ("when", "seq", "callback", "args", "cancelled", "_sim")
 
-    def __init__(self, when: float, seq: int, callback: Callable[..., Any], args: tuple):
+    def __init__(self, when: float, seq: int, callback: Callable[..., Any], args: tuple,
+                 sim: "Optional[Simulator]" = None):
         self.when = when
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
         self.callback = _noop
         self.args = ()
+        if self._sim is not None:
+            self._sim._live -= 1
 
     def __lt__(self, other: "EventHandle") -> bool:
         return (self.when, self.seq) < (other.when, other.seq)
@@ -64,6 +70,7 @@ class Simulator:
         self._now = 0.0
         self._running = False
         self._processed = 0
+        self._live = 0
         self.streams = RandomStreams(seed)
 
     @property
@@ -90,8 +97,9 @@ class Simulator:
         """Schedule ``callback(*args)`` at absolute time ``when``."""
         if when < self._now:
             raise ValueError(f"cannot schedule at {when} before now ({self._now})")
-        handle = EventHandle(when, self._seq, callback, args)
+        handle = EventHandle(when, self._seq, callback, args, sim=self)
         self._seq += 1
+        self._live += 1
         heapq.heappush(self._queue, handle)
         return handle
 
@@ -119,6 +127,7 @@ class Simulator:
                 if max_events is not None and executed >= max_events:
                     break
                 heapq.heappop(self._queue)
+                self._live -= 1
                 self._now = head.when
                 callback, args = head.callback, head.args
                 callback(*args)
@@ -131,5 +140,10 @@ class Simulator:
             self._running = False
 
     def pending_events(self) -> int:
-        """Number of not-yet-cancelled events in the queue."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of not-yet-cancelled events in the queue.
+
+        O(1): a live-event counter is maintained on schedule, cancel and
+        pop rather than scanning the heap (which still physically holds
+        cancelled entries until they surface).
+        """
+        return self._live

@@ -121,6 +121,26 @@ def test_pending_events_counts_uncancelled():
     assert sim.pending_events() == 1
 
 
+def test_pending_events_tracks_schedule_cancel_and_run():
+    sim = Simulator()
+    handles = [sim.schedule(0.1 * (i + 1), lambda: None) for i in range(4)]
+    assert sim.pending_events() == 4
+    handles[0].cancel()
+    handles[0].cancel()  # double-cancel must not decrement twice
+    assert sim.pending_events() == 3
+    sim.run(max_events=2)
+    assert sim.pending_events() == 1
+    sim.run()
+    assert sim.pending_events() == 0
+
+
+def test_pending_events_counts_events_scheduled_during_run():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: sim.schedule(1.0, lambda: None))
+    sim.run(until=1.0)
+    assert sim.pending_events() == 1
+
+
 def test_processed_events_counter():
     sim = Simulator()
     for _ in range(5):

@@ -1,0 +1,163 @@
+"""Parallel grid runner: fan-out determinism, caching, invalidation."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import (
+    GridTelemetry,
+    RunCache,
+    RunSpec,
+    code_version,
+    grid,
+    resolve_cell,
+    run_grid,
+)
+
+#: Dotted paths workers resolve (this module is importable as a package
+#: module because ``tests`` is a package and pytest runs from the repo
+#: root).
+TOY = "tests.test_runner:toy_cell"
+TRACKED = "tests.test_runner:tracked_cell"
+SESSION_CELL = "repro.experiments.table1:run_cell"
+
+
+def toy_cell(seed: int, scale: float = 1.0, label: str = "x") -> dict:
+    """Pure function of its spec -- stands in for a simulated run."""
+    return {"value": seed * scale, "label": label,
+            "sim_time_s": 0.001 * seed, "processed_events": seed + 1}
+
+
+def tracked_cell(seed: int, marker_dir: str) -> dict:
+    """Like toy_cell, but leaves a marker file proving it executed."""
+    Path(marker_dir, f"{seed}.ran").touch()
+    return {"value": seed}
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return RunCache(root=tmp_path / "cache")
+
+
+def test_spec_params_must_be_jsonable():
+    with pytest.raises(TypeError):
+        RunSpec.make(TOY, 0, bad=object())
+
+
+def test_spec_key_is_stable_and_order_insensitive():
+    a = RunSpec.make(TOY, 3, scale=2.0, label="y")
+    b = RunSpec.make(TOY, 3, label="y", scale=2.0)
+    assert a == b
+    assert a.key("v1") == b.key("v1")
+    assert a.key("v1") != a.key("v2")
+    assert a.key("v1") != RunSpec.make(TOY, 4, scale=2.0, label="y").key("v1")
+
+
+def test_resolve_cell_roundtrip():
+    assert resolve_cell(TOY) is toy_cell
+    with pytest.raises(ValueError):
+        resolve_cell("no.colon.in.path")
+
+
+def test_grid_helper_sweeps_product_of_params():
+    specs = grid(TOY, seeds=range(2), scale=[1.0, 2.0], label="fixed")
+    assert len(specs) == 4
+    assert all(s.kwargs()["label"] == "fixed" for s in specs)
+    assert {(s.seed, s.kwargs()["scale"]) for s in specs} == \
+           {(0, 1.0), (1, 1.0), (0, 2.0), (1, 2.0)}
+
+
+def test_jobs_1_and_jobs_4_byte_identical(cache, tmp_path):
+    specs = [RunSpec.make(TOY, seed, scale=0.5) for seed in range(8)]
+    serial = run_grid(specs, jobs=1, cache=RunCache(root=tmp_path / "a"))
+    fanned = run_grid(specs, jobs=4, cache=RunCache(root=tmp_path / "b"))
+    assert serial.executed == fanned.executed == 8
+    assert json.dumps(serial.metrics()) == json.dumps(fanned.metrics())
+
+
+def test_session_cell_survives_fanout_and_cache_roundtrip(tmp_path):
+    """Real simulator cells: fan-out and cache recall agree byte-for-byte."""
+    specs = [RunSpec.make(SESSION_CELL, seed, jitter_s=0.0, style="spacing")
+             for seed in range(2)]
+    serial = run_grid(specs, jobs=1, cache=RunCache(root=tmp_path / "a"))
+    fanned = run_grid(specs, jobs=2, cache=RunCache(root=tmp_path / "b"))
+    assert json.dumps(serial.metrics()) == json.dumps(fanned.metrics())
+    # Second pass against the warm cache executes nothing and returns
+    # identical metrics (the JSON round-trip loses nothing).
+    warm = run_grid(specs, jobs=1, cache=RunCache(root=tmp_path / "a"))
+    assert warm.executed == 0
+    assert warm.cache_hits == 2
+    assert json.dumps(warm.metrics()) == json.dumps(serial.metrics())
+
+
+def test_cache_hit_skips_execution(cache, tmp_path):
+    markers = tmp_path / "markers"
+    markers.mkdir()
+    specs = [RunSpec.make(TRACKED, seed, marker_dir=str(markers))
+             for seed in range(3)]
+
+    first = run_grid(specs, jobs=1, cache=cache)
+    assert first.executed == 3
+    assert len(list(markers.glob("*.ran"))) == 3
+
+    for marker in markers.glob("*.ran"):
+        marker.unlink()
+    second = run_grid(specs, jobs=1, cache=cache)
+    assert second.executed == 0
+    assert second.cache_hits == 3
+    assert list(markers.glob("*.ran")) == []
+    assert second.metrics() == first.metrics()
+
+
+def test_cache_invalidates_when_spec_changes(cache):
+    before = run_grid([RunSpec.make(TOY, 1, scale=1.0)], cache=cache)
+    changed = run_grid([RunSpec.make(TOY, 1, scale=2.0)], cache=cache)
+    assert before.executed == 1
+    assert changed.executed == 1  # different spec -> different key
+    again = run_grid([RunSpec.make(TOY, 1, scale=1.0)], cache=cache)
+    assert again.executed == 0
+
+
+def test_disabled_cache_always_executes(tmp_path):
+    markers = tmp_path / "markers"
+    markers.mkdir()
+    specs = [RunSpec.make(TRACKED, 7, marker_dir=str(markers))]
+    no_cache = RunCache.disabled()
+    run_grid(specs, cache=no_cache)
+    (markers / "7.ran").unlink()
+    result = run_grid(specs, cache=no_cache)
+    assert result.executed == 1
+    assert (markers / "7.ran").exists()
+
+
+def test_unwritable_cache_degrades_instead_of_crashing(tmp_path, capsys):
+    blocker = tmp_path / "not-a-dir"
+    blocker.write_text("file where the cache root should be")
+    broken = RunCache(root=blocker)
+    result = run_grid([RunSpec.make(TOY, seed) for seed in range(2)],
+                      cache=broken)
+    assert result.executed == 2
+    assert broken.enabled is False
+    assert "run cache disabled" in capsys.readouterr().err
+
+
+def test_corrupt_cache_record_reexecutes(cache):
+    spec = RunSpec.make(TOY, 5)
+    run_grid([spec], cache=cache)
+    path = cache._path(spec.key(code_version()))
+    path.write_text("{not json")
+    result = run_grid([spec], cache=cache)
+    assert result.executed == 1
+    assert result.metrics()[0]["value"] == 5.0
+
+
+def test_results_keep_spec_order_and_telemetry(cache):
+    specs = [RunSpec.make(TOY, seed) for seed in (5, 1, 3)]
+    result = run_grid(specs, jobs=4, cache=cache)
+    assert [r.spec.seed for r in result] == [5, 1, 3]
+    telemetry = GridTelemetry().add(result)
+    assert telemetry.cells == 3
+    assert telemetry.executed == 3
+    assert telemetry.processed_events == sum(s + 1 for s in (5, 1, 3))
+    assert "3 cells" in telemetry.line()
