@@ -10,17 +10,14 @@ numpy:
 * :mod:`repro.analysis.nbayes` -- Gaussian naive Bayes,
 * :mod:`repro.analysis.forest` -- decision trees and random forests,
 * :mod:`repro.analysis.crossval` -- stratified k-fold evaluation,
-* :mod:`repro.analysis.fingerprint` -- dataset builders for the
-  H1 / H2 / H2-under-attack comparisons.
+* :mod:`repro.analysis.fingerprint` -- the dataset container shared
+  with the builders in :mod:`repro.experiments.datasets` (which drive
+  simulations and therefore live above this layer).
 """
 
 from repro.analysis.crossval import confusion_matrix, cross_validate
 from repro.analysis.features import TraceFeatureExtractor
-from repro.analysis.fingerprint import (
-    FingerprintDataset,
-    build_first_party_dataset,
-    build_page_dataset,
-)
+from repro.analysis.fingerprint import FingerprintDataset
 from repro.analysis.forest import DecisionTreeClassifier, RandomForestClassifier
 from repro.analysis.knn import KNeighborsClassifier
 from repro.analysis.nbayes import GaussianNBClassifier
@@ -32,8 +29,6 @@ __all__ = [
     "KNeighborsClassifier",
     "RandomForestClassifier",
     "TraceFeatureExtractor",
-    "build_first_party_dataset",
-    "build_page_dataset",
     "confusion_matrix",
     "cross_validate",
 ]

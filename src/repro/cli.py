@@ -71,6 +71,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("size-estimation", help="E6: Fig. 1 micro-benchmark")
 
+    lint = sub.add_parser("lint",
+                          help="determinism & layering static checks "
+                               "(rules DET001-DET006)")
+    from repro.lint.cli import add_lint_arguments
+    add_lint_arguments(lint)
+
     fingerprint = sub.add_parser("fingerprint",
                                  help="E7a: ML classification of traces")
     _add_common(fingerprint, 32)
@@ -92,6 +98,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "attack":
         _run_attack(args.seed)
         return 0
+
+    if args.command == "lint":
+        from repro.lint.cli import run_lint_command
+        return run_lint_command(args)
 
     if args.command == "baseline":
         from repro.experiments.baseline import run_baseline

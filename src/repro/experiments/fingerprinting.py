@@ -14,13 +14,13 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List
 
 from repro.analysis.crossval import cross_validate
-from repro.analysis.fingerprint import (
-    build_first_party_dataset,
-    build_page_dataset,
-)
 from repro.analysis.forest import RandomForestClassifier
 from repro.analysis.knn import KNeighborsClassifier
 from repro.analysis.nbayes import GaussianNBClassifier
+from repro.experiments.datasets import (
+    build_first_party_dataset,
+    build_page_dataset,
+)
 from repro.experiments.results import ResultTable
 
 CLASSIFIERS: Dict[str, Callable] = {

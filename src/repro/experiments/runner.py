@@ -210,9 +210,9 @@ def code_version() -> str:
     """
     global _code_version_cache
     if _code_version_cache is None:
-        import repro
-
-        root = Path(repro.__file__).parent
+        # The package root, located relative to this file rather than
+        # via `import repro` (which would reach the interface layer).
+        root = Path(__file__).resolve().parent.parent
         digest = hashlib.sha256()
         for path in sorted(root.rglob("*.py")):
             digest.update(path.relative_to(root).as_posix().encode())

@@ -1,0 +1,37 @@
+"""AST-based determinism & layering linter for the repro package.
+
+The simulator's reproducibility contract (docs/ARCHITECTURE.md) is only
+worth something if it is enforced; ``repro.lint`` turns its clauses into
+machine-checked rules:
+
+=======  ==============================================================
+DET001   set/frozenset iteration feeding an order-sensitive consumer
+DET002   wall-clock reads outside the runner-telemetry/CLI allowlist
+DET003   global ``random.*`` / ``numpy.random.*`` state
+DET004   layering violations against the ARCHITECTURE.md layer map
+DET005   mutable class-/module-level state and mutable default args
+DET006   ``==``/``!=`` on simulated-time floats
+=======  ==============================================================
+
+Silence a finding with a trailing ``# repro-lint: ignore[DETnnn]``
+comment; unused suppressions are themselves reported (SUP001).  Run as
+``repro lint [paths]`` or ``python -m repro.lint``; see docs/LINTING.md
+for the full catalogue.
+"""
+
+from repro.lint.engine import (ALL_CODES, UNUSED_CODE, lint_paths,
+                               lint_source, module_name_for, resolve_codes)
+from repro.lint.findings import Finding, LintReport
+from repro.lint.rules import RULES
+
+__all__ = [
+    "ALL_CODES",
+    "Finding",
+    "LintReport",
+    "RULES",
+    "UNUSED_CODE",
+    "lint_paths",
+    "lint_source",
+    "module_name_for",
+    "resolve_codes",
+]

@@ -1,0 +1,83 @@
+"""Command line for the linter: ``repro lint`` / ``python -m repro.lint``.
+
+Exit status: 0 when the tree is clean, 1 when any finding (including an
+unused suppression) survives, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from repro.lint.engine import ALL_CODES, lint_paths
+
+
+def _csv(value: str) -> List[str]:
+    return [item.strip() for item in value.split(",") if item.strip()]
+
+
+def package_root() -> str:
+    """Directory of the installed ``repro`` package (self-check target)."""
+    import repro
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options (shared by ``repro lint`` and -m)."""
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint "
+                             "(default: the installed repro package)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="output format (default text)")
+    parser.add_argument("--select", type=_csv, default=None,
+                        metavar="CODES",
+                        help="comma-separated rule codes to run "
+                             f"(default: all of {', '.join(ALL_CODES)})")
+    parser.add_argument("--ignore", type=_csv, default=None,
+                        metavar="CODES",
+                        help="comma-separated rule codes to skip")
+    parser.add_argument("--self-check", action="store_true",
+                        help="lint the repro package's own source tree")
+
+
+def run_lint_command(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation; returns the exit status."""
+    paths = list(args.paths)
+    if args.self_check or not paths:
+        paths = [package_root()]
+    try:
+        report = lint_paths(paths, select=args.select, ignore=args.ignore)
+    except ValueError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        for finding in report.findings:
+            print(finding.render())
+        counts = ", ".join(f"{code}: {n}" for code, n
+                           in sorted(report.by_code().items()))
+        summary = (f"{len(report.findings)} finding"
+                   f"{'' if len(report.findings) == 1 else 's'}"
+                   f" ({report.files_checked} files checked")
+        summary += f"; {counts})" if counts else ")"
+        print(summary)
+    return 0 if report.ok else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="AST-based determinism & layering linter for the "
+                    "repro package (rules DET001-DET006; see "
+                    "docs/LINTING.md)")
+    add_lint_arguments(parser)
+    return run_lint_command(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,110 @@
+"""File discovery, module-name resolution, and rule dispatch."""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterable, List, Optional, Sequence
+
+from repro.lint.findings import Finding, LintReport
+from repro.lint.rules import RULES, ModuleContext, check_module
+from repro.lint.suppressions import UNUSED_CODE, apply_suppressions
+
+ALL_CODES = tuple(sorted(RULES))
+
+
+def resolve_codes(select: Optional[Sequence[str]] = None,
+                  ignore: Optional[Sequence[str]] = None) -> frozenset:
+    """The enabled rule-code set for --select/--ignore."""
+    enabled = {code.upper() for code in select} if select else set(ALL_CODES)
+    unknown = sorted(enabled - set(ALL_CODES))
+    if unknown:
+        raise ValueError(f"unknown rule code(s): {', '.join(unknown)}")
+    if ignore:
+        dropped = {code.upper() for code in ignore}
+        unknown = sorted(dropped - set(ALL_CODES))
+        if unknown:
+            raise ValueError(f"unknown rule code(s): {', '.join(unknown)}")
+        enabled -= dropped
+    return frozenset(enabled)
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name, derived by walking package ``__init__``s up."""
+    path = os.path.abspath(path)
+    directory, filename = os.path.split(path)
+    stem = os.path.splitext(filename)[0]
+    parts: List[str] = [] if stem == "__init__" else [stem]
+    while os.path.isfile(os.path.join(directory, "__init__.py")):
+        directory, package = os.path.split(directory)
+        parts.insert(0, package)
+    return ".".join(parts) if parts else stem
+
+
+def _package_of(module: str, path: str) -> str:
+    if os.path.basename(path) == "__init__.py":
+        return module
+    return module.rpartition(".")[0]
+
+
+def discover_files(paths: Iterable[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs.sort()
+                dirs[:] = [d for d in dirs if d != "__pycache__"]
+                for name in sorted(names):
+                    if name.endswith(".py"):
+                        files.append(os.path.join(root, name))
+        else:
+            files.append(path)
+    return sorted(dict.fromkeys(files))
+
+
+def lint_source(source: str, module_name: str, path: str = "<string>",
+                select: Optional[Sequence[str]] = None,
+                ignore: Optional[Sequence[str]] = None,
+                package: Optional[str] = None) -> List[Finding]:
+    """Lint one source string (the unit the fixture tests drive)."""
+    enabled = resolve_codes(select, ignore)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(path=path, line=exc.lineno or 1,
+                        col=(exc.offset or 1) - 1, code="E999",
+                        message=f"syntax error: {exc.msg}")]
+    if package is None:
+        package = module_name.rpartition(".")[0]
+    ctx = ModuleContext(path=path, module=module_name, package=package,
+                        tree=tree, source=source)
+    findings = check_module(ctx, set(enabled))
+    kept, _ = apply_suppressions(findings, source, path, enabled)
+    kept.sort(key=lambda f: f.sort_key())
+    return kept
+
+
+def lint_paths(paths: Sequence[str],
+               select: Optional[Sequence[str]] = None,
+               ignore: Optional[Sequence[str]] = None) -> LintReport:
+    """Lint files and directories; the CLI's workhorse."""
+    enabled = resolve_codes(select, ignore)
+    files = discover_files(paths)
+    findings: List[Finding] = []
+    for file_path in files:
+        with open(file_path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        module = module_name_for(file_path)
+        rel = os.path.relpath(file_path)
+        file_findings = lint_source(
+            source, module, path=rel,
+            select=sorted(enabled), ignore=None,
+            package=_package_of(module, file_path))
+        findings.extend(file_findings)
+    findings.sort(key=lambda f: f.sort_key())
+    return LintReport(findings=findings, files_checked=len(files))
+
+
+__all__ = ["ALL_CODES", "UNUSED_CODE", "discover_files", "lint_paths",
+           "lint_source", "module_name_for", "resolve_codes"]

@@ -1,0 +1,570 @@
+"""The determinism & layering rules (DET001-DET006).
+
+Each rule encodes one clause of the determinism contract in
+docs/ARCHITECTURE.md.  The checkers work on the stdlib ``ast`` only --
+no third-party dependencies -- and favour precision over recall: a rule
+fires when the pattern is structurally recognizable, and every firing
+is expected to be either fixed or suppressed with a justification
+comment (see docs/LINTING.md).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.lint.findings import Finding
+from repro.lint.layers import layer_of, resolve_relative
+
+#: code -> one-line description (the rule catalogue; mirrored in
+#: docs/LINTING.md).
+RULES = {
+    "DET001": "iteration over a set/frozenset feeds an order-sensitive "
+              "consumer (set order varies under hash randomization)",
+    "DET002": "wall-clock read inside simulation code (simulated time "
+              "must come from Simulator.now)",
+    "DET003": "global random state (random.* / numpy.random.*) instead "
+              "of a seeded random.Random / default_rng stream",
+    "DET004": "layering violation: a lower layer imports a higher one "
+              "(see the layer map in docs/ARCHITECTURE.md)",
+    "DET005": "mutable class-level/module-level container (state shared "
+              "across instances or runs) or mutable default argument",
+    "DET006": "==/!= comparison of simulated-time floats (use ordering "
+              "or an explicit tolerance)",
+}
+
+#: Modules allowed to read the wall clock: runner telemetry and the CLI.
+DET002_ALLOWED_MODULES = frozenset({
+    "repro.experiments.runner",
+    "repro.cli",
+    "repro.__main__",
+})
+
+_WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns", "time.clock",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+_GLOBAL_RANDOM_FUNCS = frozenset({
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "triangular", "betavariate", "expovariate",
+    "gammavariate", "gauss", "lognormvariate", "normalvariate",
+    "vonmisesvariate", "paretovariate", "weibullvariate", "getrandbits",
+    "randbytes", "seed", "setstate", "binomialvariate",
+})
+
+#: numpy.random names that construct *seeded* generators (fine) rather
+#: than touching the hidden global stream (flagged).
+_NUMPY_SEEDED_OK = frozenset({
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+})
+
+#: Builtins whose result does not depend on input order; a set flowing
+#: into these is harmless.
+_ORDER_INSENSITIVE = frozenset({
+    "sorted", "sum", "min", "max", "len", "any", "all", "set",
+    "frozenset",
+})
+
+#: Builtins that materialize their argument's iteration order.
+_ORDER_SENSITIVE = frozenset({"list", "tuple", "enumerate", "reversed",
+                              "iter", "next"})
+
+#: set methods returning sets (so ``a.union(b)`` is itself set-typed).
+_SET_METHODS = frozenset({"union", "intersection", "difference",
+                          "symmetric_difference", "copy"})
+
+_SET_BINOPS = (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "defaultdict",
+                            "deque", "OrderedDict", "Counter"})
+
+_TIMELIKE_EXACT = frozenset({"now", "when", "time", "deadline"})
+_TIMELIKE_SUFFIXES = ("_time", "_at", "_when", "_deadline")
+
+
+@dataclass
+class ModuleContext:
+    """Everything the rules need to know about one module."""
+
+    path: str
+    module: str          # dotted name, e.g. "repro.simnet.engine"
+    package: str         # containing package ("" outside any package)
+    tree: ast.Module
+    source: str
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a pure Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _is_set_annotation(node: Optional[ast.AST]) -> bool:
+    if node is None:
+        return False
+    if isinstance(node, ast.Name):
+        return node.id in ("set", "frozenset")
+    if isinstance(node, ast.Subscript):
+        name = _terminal_name(node.value)
+        return name in ("Set", "FrozenSet", "AbstractSet", "MutableSet",
+                        "set", "frozenset")
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        text = node.value.strip()
+        return (text in ("set", "frozenset")
+                or text.startswith(("Set[", "FrozenSet[", "set[",
+                                    "frozenset[")))
+    return False
+
+
+def _mutable_container(node: ast.AST):
+    """(is_mutable, is_empty) for container displays/constructors."""
+    if isinstance(node, ast.List):
+        return True, not node.elts
+    if isinstance(node, ast.Dict):
+        return True, not node.keys
+    if isinstance(node, ast.Set):
+        return True, False
+    if isinstance(node, ast.Call):
+        name = _terminal_name(node.func)
+        if name in _MUTABLE_CALLS:
+            return True, not (node.args or node.keywords)
+    return False, False
+
+
+class _Scope:
+    """One lexical scope with its inferred set-typed names."""
+
+    def __init__(self, kind: str):
+        self.kind = kind                 # "module" | "function" | "class"
+        self.set_names: Set[str] = set()
+        self.set_self_attrs: Set[str] = set()   # class scopes only
+
+
+class DeterminismVisitor(ast.NodeVisitor):
+    """Single-pass checker for DET001/002/003/005/006."""
+
+    def __init__(self, ctx: ModuleContext, enabled: Set[str]):
+        self.ctx = ctx
+        self.enabled = enabled
+        self.findings: List[Finding] = []
+        self.scopes: List[_Scope] = []
+        self._aliases = self._collect_aliases(ctx.tree)
+        self._genexp_ok: Set[int] = set()
+        self._func_depth = 0
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _emit(self, node: ast.AST, code: str, message: str) -> None:
+        if code in self.enabled:
+            self.findings.append(Finding(
+                path=self.ctx.path, line=node.lineno,
+                col=node.col_offset, code=code, message=message))
+
+    @staticmethod
+    def _collect_aliases(tree: ast.Module) -> Dict[str, str]:
+        """local name -> dotted origin, from every import in the module."""
+        aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        aliases[alias.asname] = alias.name
+                    else:
+                        root = alias.name.split(".")[0]
+                        aliases[root] = root
+            elif isinstance(node, ast.ImportFrom) and node.level == 0 \
+                    and node.module:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    aliases[local] = f"{node.module}.{alias.name}"
+        return aliases
+
+    def _resolve(self, node: ast.AST) -> Optional[str]:
+        dotted = _dotted_name(node)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        origin = self._aliases.get(head)
+        if origin is None:
+            return dotted
+        return f"{origin}.{rest}" if rest else origin
+
+    # -- scope handling -----------------------------------------------------
+
+    def visit_Module(self, node: ast.Module) -> None:
+        scope = _Scope("module")
+        self._infer_set_bindings(node.body, scope)
+        self.scopes.append(scope)
+        self._check_module_level_state(node)
+        self.generic_visit(node)
+        self.scopes.pop()
+
+    def _visit_function(self, node) -> None:
+        self._check_mutable_defaults(node)
+        scope = _Scope("function")
+        for arg in self._all_args(node.args):
+            if _is_set_annotation(arg.annotation):
+                scope.set_names.add(arg.arg)
+        self._infer_set_bindings(node.body, scope)
+        self.scopes.append(scope)
+        self._func_depth += 1
+        self.generic_visit(node)
+        self._func_depth -= 1
+        self.scopes.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_mutable_defaults(node)
+        self.generic_visit(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._check_class_level_state(node)
+        scope = _Scope("class")
+        self._infer_self_attrs(node, scope)
+        self.scopes.append(scope)
+        self.generic_visit(node)
+        self.scopes.pop()
+
+    @staticmethod
+    def _all_args(args: ast.arguments):
+        every = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        if args.vararg:
+            every.append(args.vararg)
+        if args.kwarg:
+            every.append(args.kwarg)
+        return every
+
+    def _infer_set_bindings(self, body, scope: _Scope) -> None:
+        """Names assigned set-typed values anywhere in this scope's body
+        (in source order, without descending into nested scopes)."""
+        for stmt in self._scope_nodes(body):
+            if isinstance(stmt, ast.Assign):
+                if self._is_set_expr(stmt.value, scope):
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            scope.set_names.add(target.id)
+            elif isinstance(stmt, ast.AnnAssign):
+                if isinstance(stmt.target, ast.Name) and (
+                        _is_set_annotation(stmt.annotation)
+                        or (stmt.value is not None
+                            and self._is_set_expr(stmt.value, scope))):
+                    scope.set_names.add(stmt.target.id)
+
+    @classmethod
+    def _scope_nodes(cls, body):
+        """Yield nodes of one lexical scope in source order, stopping at
+        nested function/class/lambda boundaries."""
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef, ast.Lambda)):
+                continue
+            yield node
+            for child in cls._scope_nodes(list(ast.iter_child_nodes(node))):
+                yield child
+
+    def _infer_self_attrs(self, node: ast.ClassDef, scope: _Scope) -> None:
+        for child in ast.walk(node):
+            if isinstance(child, ast.Assign):
+                if self._is_set_expr(child.value, None):
+                    for target in child.targets:
+                        if (isinstance(target, ast.Attribute)
+                                and isinstance(target.value, ast.Name)
+                                and target.value.id == "self"):
+                            scope.set_self_attrs.add(target.attr)
+            elif isinstance(child, ast.AnnAssign) and child.target is not None:
+                target = child.target
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        and _is_set_annotation(child.annotation)):
+                    scope.set_self_attrs.add(target.attr)
+
+    # -- set-type inference -------------------------------------------------
+
+    def _is_set_expr(self, node: ast.AST, scope: Optional[_Scope]) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            name = _terminal_name(node.func)
+            if isinstance(node.func, ast.Name) and name in ("set",
+                                                            "frozenset"):
+                return True
+            if (isinstance(node.func, ast.Attribute)
+                    and name in _SET_METHODS
+                    and self._is_set_expr(node.func.value, scope)):
+                return True
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_BINOPS):
+            return (self._is_set_expr(node.left, scope)
+                    or self._is_set_expr(node.right, scope))
+        if isinstance(node, ast.Name):
+            for frame in reversed(self.scopes if scope is None
+                                  else self.scopes + [scope]):
+                if frame.kind in ("function", "module") \
+                        and node.id in frame.set_names:
+                    return True
+            return False
+        if isinstance(node, ast.Attribute) \
+                and isinstance(node.value, ast.Name) \
+                and node.value.id == "self":
+            for frame in reversed(self.scopes):
+                if frame.kind == "class":
+                    return node.attr in frame.set_self_attrs
+            return False
+        return False
+
+    def _set_iter(self, node: ast.AST) -> bool:
+        return self._is_set_expr(node, None)
+
+    # -- DET001 -------------------------------------------------------------
+
+    def visit_For(self, node: ast.For) -> None:
+        if self._set_iter(node.iter):
+            self._emit(node.iter, "DET001",
+                       "iterating a set: order varies under hash "
+                       "randomization; wrap in sorted(...) or keep an "
+                       "ordered container")
+        self.generic_visit(node)
+
+    def _visit_ordered_comp(self, node) -> None:
+        if not (isinstance(node, ast.GeneratorExp)
+                and id(node) in self._genexp_ok):
+            for gen in node.generators:
+                if self._set_iter(gen.iter):
+                    self._emit(gen.iter, "DET001",
+                               "comprehension iterates a set into an "
+                               "ordered result; wrap in sorted(...)")
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_ordered_comp
+    visit_DictComp = _visit_ordered_comp
+    visit_GeneratorExp = _visit_ordered_comp
+
+    # SetComp: unordered in, unordered out -- exempt by construction.
+
+    # -- calls: DET001 consumers, DET002, DET003 ---------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func_name = _terminal_name(node.func)
+        if isinstance(node.func, ast.Name) \
+                and func_name in _ORDER_INSENSITIVE:
+            for arg in node.args:
+                if isinstance(arg, ast.GeneratorExp):
+                    self._genexp_ok.add(id(arg))
+        if isinstance(node.func, ast.Name) \
+                and func_name in _ORDER_SENSITIVE and node.args:
+            if self._set_iter(node.args[0]):
+                self._emit(node.args[0], "DET001",
+                           f"{func_name}() materializes set iteration "
+                           "order; wrap in sorted(...)")
+        if isinstance(node.func, ast.Attribute) and func_name == "join" \
+                and node.args and self._set_iter(node.args[0]):
+            self._emit(node.args[0], "DET001",
+                       "str.join over a set materializes set iteration "
+                       "order; wrap in sorted(...)")
+
+        resolved = self._resolve(node.func)
+        if resolved:
+            self._check_wall_clock(node, resolved)
+            self._check_global_random(node, resolved)
+        self.generic_visit(node)
+
+    def _check_wall_clock(self, node: ast.Call, resolved: str) -> None:
+        if resolved in _WALL_CLOCK_CALLS \
+                and self.ctx.module not in DET002_ALLOWED_MODULES:
+            self._emit(node, "DET002",
+                       f"wall-clock read {resolved}() in simulation "
+                       "code; simulated time must come from "
+                       "Simulator.now")
+
+    def _check_global_random(self, node: ast.Call, resolved: str) -> None:
+        head, _, tail = resolved.partition(".")
+        if head == "random" and tail in _GLOBAL_RANDOM_FUNCS:
+            self._emit(node, "DET003",
+                       f"global random state ({resolved}); draw from a "
+                       "seeded random.Random / named sim stream instead")
+        if resolved.startswith("numpy.random."):
+            leaf = resolved.split(".")[2]
+            if leaf not in _NUMPY_SEEDED_OK:
+                self._emit(node, "DET003",
+                           f"global numpy random state ({resolved}); "
+                           "use numpy.random.default_rng(seed)")
+
+    # -- DET003: import forms ----------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        if self._func_depth > 0:
+            for alias in node.names:
+                if alias.name.split(".")[0] == "random":
+                    self._emit(node, "DET003",
+                               "function-level 'import random'; import "
+                               "at module level and use a seeded "
+                               "random.Random (see website/generator.py)")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level == 0 and node.module == "random":
+            bad = sorted(alias.name for alias in node.names
+                         if alias.name in _GLOBAL_RANDOM_FUNCS)
+            if bad:
+                self._emit(node, "DET003",
+                           "importing global random state ("
+                           + ", ".join(bad)
+                           + "); use a seeded random.Random stream")
+        if node.level == 0 and node.module == "numpy.random":
+            bad = sorted(alias.name for alias in node.names
+                         if alias.name not in _NUMPY_SEEDED_OK)
+            if bad:
+                self._emit(node, "DET003",
+                           "importing global numpy random state ("
+                           + ", ".join(bad)
+                           + "); use numpy.random.default_rng(seed)")
+        self.generic_visit(node)
+
+    # -- DET005 -------------------------------------------------------------
+
+    def _check_module_level_state(self, node: ast.Module) -> None:
+        for stmt in node.body:
+            targets = []
+            if isinstance(stmt, ast.Assign):
+                targets = [t for t in stmt.targets if isinstance(t, ast.Name)]
+                value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign) \
+                    and isinstance(stmt.target, ast.Name) \
+                    and stmt.value is not None:
+                targets = [stmt.target]
+                value = stmt.value
+            else:
+                continue
+            mutable, empty = _mutable_container(value)
+            if not mutable:
+                continue
+            for target in targets:
+                if target.id.startswith("__") and target.id.endswith("__"):
+                    continue  # __all__ and friends are interpreter protocol
+                is_const_table = target.id.isupper() and not empty
+                if not is_const_table:
+                    self._emit(stmt, "DET005",
+                               f"module-level mutable container "
+                               f"'{target.id}' is state shared across "
+                               "runs; build it per-run or make it an "
+                               "immutable constant")
+
+    def _check_class_level_state(self, node: ast.ClassDef) -> None:
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign):
+                value, names = stmt.value, [
+                    t.id for t in stmt.targets if isinstance(t, ast.Name)]
+            elif isinstance(stmt, ast.AnnAssign) \
+                    and isinstance(stmt.target, ast.Name) \
+                    and stmt.value is not None:
+                value, names = stmt.value, [stmt.target.id]
+            else:
+                continue
+            mutable, _ = _mutable_container(value)
+            if mutable and names:
+                self._emit(stmt, "DET005",
+                           f"class-level mutable container "
+                           f"'{names[0]}' is shared across every "
+                           "instance; initialize it in __init__ (or use "
+                           "field(default_factory=...))")
+
+    def _check_mutable_defaults(self, node) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None]
+        for default in defaults:
+            mutable, _ = _mutable_container(default)
+            if mutable:
+                self._emit(default, "DET005",
+                           "mutable default argument is shared across "
+                           "calls; default to None and build inside")
+
+    # -- DET006 -------------------------------------------------------------
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            operands = [node.left] + list(node.comparators)
+            if not any(isinstance(o, ast.Constant) and o.value is None
+                       for o in operands):
+                for operand in operands:
+                    name = _terminal_name(operand)
+                    if name is not None and self._timelike(name):
+                        self._emit(node, "DET006",
+                                   f"==/!= on simulated-time value "
+                                   f"'{name}'; float clock arithmetic "
+                                   "is not exact -- compare with <=/>= "
+                                   "or an explicit tolerance")
+                        break
+        self.generic_visit(node)
+
+    @staticmethod
+    def _timelike(name: str) -> bool:
+        return (name in _TIMELIKE_EXACT
+                or name.endswith(_TIMELIKE_SUFFIXES))
+
+
+def check_layering(ctx: ModuleContext, enabled: Set[str]) -> List[Finding]:
+    """DET004: no import may reach a higher layer than its own module."""
+    if "DET004" not in enabled:
+        return []
+    own = layer_of(ctx.module)
+    if own is None:
+        return []
+    own_layer, own_rank = own
+    findings: List[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            targets = [alias.name for alias in node.names]
+        elif isinstance(node, ast.ImportFrom):
+            if node.level > 0:
+                targets = [resolve_relative(ctx.package, node.level,
+                                            node.module)]
+            else:
+                targets = [node.module] if node.module else []
+        else:
+            continue
+        for target in targets:
+            resolved = layer_of(target)
+            if resolved is None:
+                continue
+            target_layer, target_rank = resolved
+            if target_rank > own_rank:
+                findings.append(Finding(
+                    path=ctx.path, line=node.lineno, col=node.col_offset,
+                    code="DET004",
+                    message=(f"layer '{own_layer}' ({ctx.module}) must "
+                             f"not import layer '{target_layer}' "
+                             f"({target}); see the layer map in "
+                             "docs/ARCHITECTURE.md")))
+    return findings
+
+
+def check_module(ctx: ModuleContext, enabled: Set[str]) -> List[Finding]:
+    """Run every enabled rule over one parsed module."""
+    visitor = DeterminismVisitor(ctx, enabled)
+    visitor.visit(ctx.tree)
+    findings = visitor.findings + check_layering(ctx, enabled)
+    findings.sort(key=lambda f: f.sort_key())
+    return findings

@@ -1,0 +1,80 @@
+"""Inline suppression comments.
+
+A finding on line N is silenced by a trailing comment on that line::
+
+    for path in residue:  # repro-lint: ignore[DET001]
+
+Several codes may be listed (``ignore[DET001,DET005]``).  Every
+suppression must pull its weight: a listed code that silences nothing
+on its line is itself reported (SUP001), so stale suppressions cannot
+accumulate as the code evolves.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, List, Tuple
+
+from repro.lint.findings import Finding
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*ignore\[([A-Za-z0-9_,\s]+)\]")
+
+#: Code of the unused-suppression warning itself.
+UNUSED_CODE = "SUP001"
+
+
+def parse_suppressions(source: str) -> Dict[int, List[str]]:
+    """Map 1-based line number -> codes suppressed on that line.
+
+    Tokenized rather than line-matched so the marker is only honoured
+    in actual comments, never inside string literals or docstrings.
+    """
+    table: Dict[int, List[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [(tok.start[0], tok.string) for tok in tokens
+                    if tok.type == tokenize.COMMENT]
+    except (tokenize.TokenError, IndentationError):
+        return table
+    for lineno, text in comments:
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        codes = [code.strip().upper() for code in match.group(1).split(",")]
+        table[lineno] = [code for code in codes if code]
+    return table
+
+
+def apply_suppressions(findings: List[Finding], source: str, path: str,
+                       enabled_codes) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into (kept, suppressed) and report unused entries.
+
+    ``enabled_codes`` is the set of rule codes this run actually checks;
+    a suppression for a deselected rule is not reported as unused (the
+    rule simply did not run).  The returned *kept* list already includes
+    any SUP001 warnings.
+    """
+    table = parse_suppressions(source)
+    used: Dict[int, set] = {lineno: set() for lineno in table}
+    kept: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in findings:
+        codes = table.get(finding.line, [])
+        if finding.code in codes:
+            used[finding.line].add(finding.code)
+            suppressed.append(finding)
+        else:
+            kept.append(finding)
+    for lineno in sorted(table):
+        unused = [code for code in table[lineno]
+                  if code not in used[lineno] and code in enabled_codes]
+        if unused:
+            kept.append(Finding(
+                path=path, line=lineno, col=0, code=UNUSED_CODE,
+                message=("unused suppression for "
+                         + ", ".join(sorted(set(unused)))
+                         + " (nothing to silence on this line)")))
+    return kept, suppressed

@@ -13,6 +13,7 @@ conditions, and (given per-title ladders) potentially the title.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -31,7 +32,9 @@ class StreamingSite(Site):
                  ladder: Sequence[int] = DEFAULT_LADDER,
                  vbr_spread: float = 0.10, seed: int = 17):
         super().__init__(name="streaming", authority="video.example")
-        import random
+        # Seeded construction-time stream, the generator.py idiom: VBR
+        # noise is site content, fixed by the site seed, not by any
+        # global RNG state.
         rng = random.Random(seed)
         self.ladder = tuple(ladder)
         self.n_segments = n_segments

@@ -1,0 +1,408 @@
+"""The determinism & layering linter (repro.lint).
+
+Per-rule positive/negative fixture snippets, suppression handling,
+output formats, CLI exit codes -- and the gating self-check: the shipped
+tree must lint clean.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+import repro
+from repro.lint import (
+    ALL_CODES,
+    RULES,
+    UNUSED_CODE,
+    lint_paths,
+    lint_source,
+    module_name_for,
+    resolve_codes,
+)
+
+PACKAGE_ROOT = os.path.dirname(os.path.abspath(repro.__file__))
+REPO_SRC = os.path.dirname(PACKAGE_ROOT)
+
+
+def codes(source: str, module: str = "repro.simnet.fixture", **kwargs):
+    findings = lint_source(textwrap.dedent(source), module, **kwargs)
+    return [finding.code for finding in findings]
+
+
+# -- rule catalogue sanity ----------------------------------------------------
+
+def test_all_six_rules_are_registered():
+    assert set(ALL_CODES) == {"DET001", "DET002", "DET003", "DET004",
+                              "DET005", "DET006"}
+    for code in ALL_CODES:
+        assert RULES[code]
+
+
+# -- DET001: set iteration ----------------------------------------------------
+
+class TestDet001:
+    def test_bad_for_loop_over_set_variable(self):
+        # The PR-1 browser bug class: ordering re-requests by iterating
+        # a set makes the run depend on hash randomization.
+        bad = """
+            def rerequest(needed):
+                residue = set(needed)
+                order = []
+                for path in residue:
+                    order.append(path)
+                return order
+        """
+        assert codes(bad) == ["DET001"]
+
+    def test_bad_self_attribute_set_comprehended_into_list(self):
+        bad = """
+            class Browser:
+                def __init__(self, plan):
+                    self._needed = set(plan)
+
+                def order(self):
+                    return [path for path in self._needed]
+        """
+        assert codes(bad) == ["DET001"]
+
+    def test_bad_list_materializes_set_expression(self):
+        bad = """
+            def merge(a, b):
+                joined = set(a) | set(b)
+                return list(joined)
+        """
+        assert codes(bad) == ["DET001"]
+
+    def test_good_sorted_iteration_and_membership(self):
+        good = """
+            def rerequest(needed):
+                residue = set(needed)
+                order = [path for path in sorted(residue)]
+                if "x" in residue:
+                    order.append("x")
+                return order
+        """
+        assert codes(good) == []
+
+    def test_good_order_insensitive_consumers(self):
+        good = """
+            def stats(xs):
+                seen = set(xs)
+                return len(seen), sum(seen), min(seen), max(seen), \\
+                    all(x > 0 for x in seen)
+        """
+        assert codes(good) == []
+
+
+# -- DET002: wall clock -------------------------------------------------------
+
+class TestDet002:
+    def test_bad_wall_clock_in_simulation_layer(self):
+        bad = """
+            import time
+
+            def delay():
+                return time.time()
+        """
+        assert codes(bad) == ["DET002"]
+
+    def test_bad_from_import_alias(self):
+        bad = """
+            from time import perf_counter as clock
+
+            def delay():
+                return clock()
+        """
+        assert codes(bad, module="repro.http2.fixture") == ["DET002"]
+
+    def test_good_runner_telemetry_is_allowlisted(self):
+        allowed = """
+            import time
+
+            def measure():
+                return time.perf_counter()
+        """
+        assert codes(allowed, module="repro.experiments.runner") == []
+
+    def test_good_simulated_clock(self):
+        good = """
+            def delay(sim):
+                return sim.now
+        """
+        assert codes(good) == []
+
+
+# -- DET003: global random state ---------------------------------------------
+
+class TestDet003:
+    def test_bad_global_random_call(self):
+        bad = """
+            import random
+
+            def jitter():
+                return random.uniform(0.0, 1.0)
+        """
+        assert codes(bad) == ["DET003"]
+
+    def test_bad_function_level_import_random(self):
+        # The idiom the linter converges the tree on: module-level
+        # import + seeded random.Random (website/generator.py).
+        bad = """
+            def build(seed):
+                import random
+                return random.Random(seed)
+        """
+        assert codes(bad, module="repro.website.fixture") == ["DET003"]
+
+    def test_bad_numpy_global_state(self):
+        bad = """
+            import numpy as np
+
+            def noise():
+                return np.random.rand(4)
+        """
+        assert codes(bad, module="repro.analysis.fixture") == ["DET003"]
+
+    def test_good_seeded_streams(self):
+        good = """
+            import random
+            import numpy as np
+
+            def build(seed):
+                rng = random.Random(seed)
+                gen = np.random.default_rng(seed)
+                return rng, gen
+        """
+        assert codes(good, module="repro.website.fixture") == []
+
+
+# -- DET004: layering ---------------------------------------------------------
+
+class TestDet004:
+    def test_bad_substrate_importing_experiments(self):
+        bad = "from repro.experiments.session import run_session\n"
+        assert codes(bad, module="repro.simnet.fixture") == ["DET004"]
+
+    def test_bad_transport_importing_application_relatively(self):
+        bad = "from ..browser import browser\n"
+        assert codes(bad, module="repro.tcp.fixture") == ["DET004"]
+
+    def test_bad_protocol_importing_analysis(self):
+        bad = "from repro.core.observer import WireView\n"
+        assert codes(bad, module="repro.http2.fixture") == ["DET004"]
+
+    def test_good_downward_and_same_layer_imports(self):
+        good = """
+            from repro.simnet.engine import Simulator
+            from repro.tcp.connection import TcpStack
+            from repro.http2.frames import DataFrame
+        """
+        assert codes(good, module="repro.experiments.fixture") == []
+
+    def test_good_unmapped_modules_are_exempt(self):
+        assert codes("import os\n", module="not_in_the_map") == []
+
+
+# -- DET005: shared mutable state --------------------------------------------
+
+class TestDet005:
+    def test_bad_class_level_dict(self):
+        bad = """
+            class Registry:
+                entries = {}
+        """
+        assert codes(bad) == ["DET005"]
+
+    def test_bad_module_level_accumulator(self):
+        assert codes("_cache = {}\n") == ["DET005"]
+
+    def test_bad_mutable_default_argument(self):
+        bad = """
+            def record(event, log=[]):
+                log.append(event)
+                return log
+        """
+        assert codes(bad) == ["DET005"]
+
+    def test_good_init_built_state_and_constant_table(self):
+        good = """
+            SIZES = {"html": 2048}
+
+            class Registry:
+                def __init__(self):
+                    self.entries = {}
+        """
+        assert codes(good) == []
+
+    def test_good_dataclass_default_factory(self):
+        good = """
+            from dataclasses import dataclass, field
+            from typing import Dict
+
+            @dataclass
+            class Meta:
+                extra: Dict[str, int] = field(default_factory=dict)
+        """
+        assert codes(good) == []
+
+
+# -- DET006: simulated-time equality ------------------------------------------
+
+class TestDet006:
+    def test_bad_equality_on_now(self):
+        bad = """
+            def fired(sim, deadline):
+                return sim.now == deadline
+        """
+        assert codes(bad) == ["DET006"]
+
+    def test_bad_inequality_on_timestamp_field(self):
+        bad = """
+            def same(event, other):
+                return event.requested_at != other.requested_at
+        """
+        assert codes(bad) == ["DET006"]
+
+    def test_good_ordering_comparisons(self):
+        good = """
+            def due(sim, deadline):
+                return sim.now >= deadline and sim.now - deadline < 1e-9
+        """
+        assert codes(good) == []
+
+
+# -- suppressions -------------------------------------------------------------
+
+class TestSuppressions:
+    def test_inline_suppression_silences_the_finding(self):
+        source = """
+            def rerequest(needed):
+                residue = set(needed)
+                out = []
+                for path in residue:  # repro-lint: ignore[DET001]
+                    out.append(path)
+                return out
+        """
+        assert codes(source) == []
+
+    def test_suppression_is_code_specific(self):
+        source = """
+            def rerequest(needed):
+                residue = set(needed)
+                out = []
+                for path in residue:  # repro-lint: ignore[DET002]
+                    out.append(path)
+                return out
+        """
+        assert sorted(codes(source)) == ["DET001", UNUSED_CODE]
+
+    def test_unused_suppression_is_reported(self):
+        assert codes("x = 1  # repro-lint: ignore[DET003]\n") == [UNUSED_CODE]
+
+    def test_unused_suppression_for_deselected_rule_is_silent(self):
+        source = "x = 1  # repro-lint: ignore[DET003]\n"
+        findings = lint_source(source, "repro.simnet.fixture",
+                               ignore=["DET003"])
+        assert findings == []
+
+    def test_marker_inside_string_literal_is_not_a_suppression(self):
+        source = """
+            def doc(needed):
+                text = "# repro-lint: ignore[DET001]"
+                residue = set(needed)
+                return [p for p in residue]
+        """
+        assert codes(source) == ["DET001"]
+
+
+# -- select / ignore ----------------------------------------------------------
+
+def test_select_and_ignore_narrow_the_rule_set():
+    source = """
+        import random
+
+        def f():
+            x = random.uniform(0, 1)
+            return random.Random(int(x))
+    """
+    assert codes(source, select=["DET003"]) == ["DET003"]
+    assert codes(source, ignore=["DET003"]) == []
+
+
+def test_unknown_codes_are_rejected():
+    with pytest.raises(ValueError):
+        resolve_codes(select=["DET999"])
+    with pytest.raises(ValueError):
+        resolve_codes(ignore=["NOPE"])
+
+
+# -- engine: files, module names, JSON ---------------------------------------
+
+def test_module_name_resolution_walks_packages():
+    engine_py = os.path.join(PACKAGE_ROOT, "simnet", "engine.py")
+    assert module_name_for(engine_py) == "repro.simnet.engine"
+    init_py = os.path.join(PACKAGE_ROOT, "simnet", "__init__.py")
+    assert module_name_for(init_py) == "repro.simnet"
+
+
+def test_lint_paths_reports_over_files(tmp_path):
+    bad = tmp_path / "bad_fixture.py"
+    bad.write_text("import time\n\n\ndef f():\n    return time.time()\n")
+    report = lint_paths([str(tmp_path)])
+    assert report.files_checked == 1
+    assert [f.code for f in report.findings] == ["DET002"]
+    payload = report.to_dict()
+    assert payload["version"] == 1
+    assert payload["summary"] == {"total": 1, "by_code": {"DET002": 1}}
+    finding = payload["findings"][0]
+    assert set(finding) == {"path", "line", "col", "code", "message"}
+    assert finding["line"] == 5
+
+
+def test_syntax_errors_are_findings_not_crashes(tmp_path):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def f(:\n")
+    report = lint_paths([str(broken)])
+    assert [f.code for f in report.findings] == ["E999"]
+
+
+# -- the gating self-check ----------------------------------------------------
+
+def test_repro_package_lints_clean():
+    """`repro lint src/repro` exits 0: the shipped tree honours its own
+    determinism contract."""
+    report = lint_paths([PACKAGE_ROOT])
+    assert report.findings == [], "\n".join(
+        f.render() for f in report.findings)
+    assert report.files_checked > 90
+
+
+def test_cli_exit_codes_and_json(tmp_path):
+    env = dict(os.environ, PYTHONPATH=REPO_SRC)
+    clean = subprocess.run(
+        [sys.executable, "-m", "repro.lint", PACKAGE_ROOT,
+         "--format", "json"],
+        capture_output=True, text=True, env=env)
+    assert clean.returncode == 0, clean.stdout + clean.stderr
+    payload = json.loads(clean.stdout)
+    assert payload["findings"] == []
+
+    bad = tmp_path / "bad_fixture.py"
+    bad.write_text("registry = {}\n")
+    dirty = subprocess.run(
+        [sys.executable, "-m", "repro.lint", str(bad)],
+        capture_output=True, text=True, env=env)
+    assert dirty.returncode == 1
+    assert "DET005" in dirty.stdout
+
+    usage = subprocess.run(
+        [sys.executable, "-m", "repro.lint", str(bad),
+         "--select", "DET999"],
+        capture_output=True, text=True, env=env)
+    assert usage.returncode == 2
