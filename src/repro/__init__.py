@@ -37,6 +37,7 @@ from repro.experiments.session import (
     run_session,
     run_sessions,
 )
+from repro.faults import FaultEvent, FaultInjector, FaultPlan, plan_for_intensity
 from repro.simnet.engine import Simulator
 from repro.website.isidewith import PARTIES, build_isidewith_site
 
@@ -46,6 +47,9 @@ __all__ = [
     "AttackConfig",
     "AttackPhase",
     "AttackReport",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
     "Http2SerializationAttack",
     "ObjectEstimate",
     "ObjectPredictor",
@@ -63,6 +67,7 @@ __all__ = [
     "jitter_only_config",
     "jitter_plus_throttle_config",
     "object_serialized",
+    "plan_for_intensity",
     "run_session",
     "run_sessions",
 ]

@@ -31,6 +31,15 @@ class BrowserConfig:
     #: Resets tolerated before declaring the load broken.
     max_resets: int = 3
     page_timeout_s: float = 30.0
+    #: Fresh-connection attempts after the transport dies (GOAWAY or
+    #: TCP teardown).  0 keeps the legacy behaviour -- a dead
+    #: connection breaks the load immediately; fault-tolerant profiles
+    #: enable a couple of retries.
+    max_reconnects: int = 0
+    #: First pause before redialling; doubles per attempt.
+    reconnect_backoff_s: float = 0.25
+    #: Ceiling on the reconnect backoff.
+    reconnect_backoff_cap_s: float = 2.0
 
 
 @dataclass
@@ -54,6 +63,8 @@ class PageLoadResult:
     requests: List[RequestEvent]
     completed_paths: List[str]
     plan: PageLoadPlan
+    #: Fresh connections dialled after transport failures.
+    reconnects: int = 0
 
     @property
     def permutation(self):
@@ -78,6 +89,8 @@ class Browser:
         self._weights: Dict[str, int] = {r.path: r.weight
                                          for r in plan.all_requests()}
         self._resets = 0
+        self._reconnects = 0
+        self._reconnecting = False
         self._scripted_fired = False
         self._head_fired = False
         self._body_fired = False
@@ -196,8 +209,14 @@ class Browser:
             return
         self._stall_timer = self.sim.schedule(
             self.config.stall_check_interval_s, self._check_stalls)
+        if self._reconnecting:
+            # A redial is pending; judge nothing until it lands.
+            return
         if self.client.broken:
-            self._finish(broken=True)
+            if self._reconnects >= self.config.max_reconnects:
+                self._finish(broken=True)
+            else:
+                self._begin_reconnect()
             return
         now = self.sim.now
         total_bytes = sum(s.bytes_received for s in self.client.streams.values())
@@ -230,6 +249,34 @@ class Browser:
         for stream in pending:
             self.client.reset_stream(stream)
         self.sim.schedule(self.config.reset_backoff_s, self._rerequest_missing)
+
+    # -- connection-loss recovery (fresh connection + re-request) -----------
+
+    def _begin_reconnect(self) -> None:
+        """Schedule a redial with capped exponential backoff."""
+        self._reconnecting = True
+        self._reconnects += 1
+        delay = min(self.config.reconnect_backoff_cap_s,
+                    self.config.reconnect_backoff_s
+                    * (2 ** (self._reconnects - 1)))
+        self.sim.schedule(delay, self._do_reconnect)
+
+    def _do_reconnect(self) -> None:
+        if self._finished:
+            return
+        # Clear the flag before dialling: if this attempt also dies the
+        # stall checker sees `broken` again and either retries (under
+        # the cap) or declares the load broken.
+        self._reconnecting = False
+        self.client.reconnect(self._on_reconnected)
+
+    def _on_reconnected(self) -> None:
+        if self._finished:
+            return
+        # The dead connection's silence must not count against the
+        # fresh one's stall window.
+        self._progress_history = []
+        self._rerequest_missing()
 
     def _rerequest_missing(self) -> None:
         if self._finished:
@@ -295,6 +342,7 @@ class Browser:
             requests=list(self._requests),
             completed_paths=list(self._completed),
             plan=self.plan,
+            reconnects=self._reconnects,
         )
         if self.on_done is not None:
             self.on_done(self.result)

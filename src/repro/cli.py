@@ -20,7 +20,8 @@ def _add_common(parser: argparse.ArgumentParser, default_n: int) -> None:
 
 
 #: Subcommands backed by the parallel runner (repro.experiments.runner).
-RUNNER_COMMANDS = ("table1", "figure5", "drops", "table2", "defenses")
+RUNNER_COMMANDS = ("table1", "figure5", "drops", "table2", "defenses",
+                   "faults")
 
 
 def _add_runner(parser: argparse.ArgumentParser) -> None:
@@ -33,13 +34,22 @@ def _add_runner(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache-dir", default=None,
                         help="run-cache location (default $REPRO_CACHE_DIR "
                              "or ~/.cache/repro-runs)")
+    parser.add_argument("--cell-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock deadline per grid cell; a cell "
+                             "that overruns is killed and marked failed "
+                             "(default: none)")
+    parser.add_argument("--retries", type=int, default=0,
+                        help="extra attempts for a crashed/hung/raising "
+                             "cell, with exponential backoff (default 0)")
 
 
 def _runner_kwargs(args) -> dict:
     from repro.experiments.runner import RunCache
 
     cache = RunCache(root=args.cache_dir, enabled=not args.no_cache)
-    return {"jobs": args.jobs, "cache": cache}
+    return {"jobs": args.jobs, "cache": cache,
+            "cell_timeout_s": args.cell_timeout, "retries": args.retries}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -60,6 +70,7 @@ def build_parser() -> argparse.ArgumentParser:
             ("drops", 25, "E4: Section IV-D drop burst"),
             ("table2", 40, "E5: Table II attack accuracy"),
             ("defenses", 15, "E7b: defenses evaluation"),
+            ("faults", 20, "EF: attack success under injected faults"),
     ):
         cmd = sub.add_parser(name, help=help_text)
         _add_common(cmd, default_n)
@@ -126,6 +137,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.experiments.defenses_eval import run_defenses
         result = run_defenses(n_per_defense=args.loads, base_seed=args.seed,
                               **_runner_kwargs(args))
+    elif args.command == "faults":
+        from repro.experiments.faults_eval import run_faults_eval
+        result = run_faults_eval(n_per_point=args.loads, base_seed=args.seed,
+                                 **_runner_kwargs(args))
     elif args.command == "size-estimation":
         from repro.experiments.size_estimation import run_size_estimation
         result = run_size_estimation()
@@ -143,6 +158,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         raise SystemExit(2)
 
     print(result.table().to_text())
+    for failure in getattr(result, "failures", ()) or ():
+        print(f"failed cell: {failure}")
     telemetry = getattr(result, "telemetry", None)
     if telemetry is not None:
         print(telemetry.line())

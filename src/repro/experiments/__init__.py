@@ -14,6 +14,8 @@ One module per paper artefact (see DESIGN.md's per-experiment index):
 * :mod:`repro.experiments.size_estimation` -- E6, Fig. 1 micro-benchmark.
 * :mod:`repro.experiments.fingerprinting` -- E7a, ML classification.
 * :mod:`repro.experiments.defenses_eval` -- E7b, defenses.
+* :mod:`repro.experiments.faults_eval` -- EF, attack success under
+  injected infrastructure faults (see docs/FAULTS.md).
 * :mod:`repro.experiments.ablations` -- scheduler / dup-serve /
   TCP-recovery-generation ablations.
 * :mod:`repro.experiments.streaming` -- E8 extension, streaming traffic.
@@ -22,6 +24,7 @@ One module per paper artefact (see DESIGN.md's per-experiment index):
 """
 
 from repro.experiments.runner import (
+    GridError,
     GridResult,
     GridTelemetry,
     RunCache,
@@ -39,5 +42,5 @@ from repro.experiments.session import (
 
 __all__ = ["SessionConfig", "SessionResult", "isidewith_size_map",
            "run_session", "run_sessions",
-           "GridResult", "GridTelemetry", "RunCache", "RunResult",
+           "GridError", "GridResult", "GridTelemetry", "RunCache", "RunResult",
            "RunSpec", "run_grid"]

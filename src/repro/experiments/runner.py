@@ -7,12 +7,20 @@ run is a pure function of its seed -- see :mod:`repro.simnet.engine`).
 That purity buys two things:
 
 * **fan-out** -- cells of an experiment grid can run in worker
-  processes (:class:`concurrent.futures.ProcessPoolExecutor`) in any
-  order without changing the aggregated result, and
+  processes in any order without changing the aggregated result, and
 * **memoization** -- a completed cell can be cached on disk, keyed by
   a content hash of its spec plus a fingerprint of the package source,
   so re-running a benchmark or resuming an interrupted sweep only
   executes the missing cells.
+
+The harness is crash-tolerant: each cell runs in its own worker
+process with an optional wall-clock deadline, a worker that dies or
+hangs marks *that* cell failed-with-reason instead of killing the grid,
+failed cells retry with capped exponential backoff, and every completed
+cell is persisted to the cache the moment it finishes -- so an
+interrupted sweep resumes from exactly the cells it is missing.
+``run_grid(strict=True)`` (the default) still raises
+:class:`GridError` once the sweep is over, after caching all successes.
 
 An experiment expresses itself as a list of :class:`RunSpec`s and calls
 :func:`run_grid`; aggregation happens on the plain-dict metrics each
@@ -32,13 +40,15 @@ from __future__ import annotations
 import hashlib
 import importlib
 import json
+import multiprocessing
 import os
 import sys
 import time
-from concurrent.futures import ProcessPoolExecutor
+from collections import deque
 from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _connection_wait
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -105,7 +115,7 @@ class RunSpec:
 
 @dataclass
 class RunResult:
-    """One completed (or cache-recalled) cell."""
+    """One completed (or cache-recalled, or permanently failed) cell."""
 
     spec: RunSpec
     metrics: Dict[str, Any]
@@ -113,6 +123,14 @@ class RunResult:
     sim_time_s: float
     processed_events: int
     cached: bool
+    #: Why the cell failed (crash / timeout / exception), None on success.
+    error: Optional[str] = None
+    #: Executions this invocation spent on the cell (1 + retries used).
+    attempts: int = 1
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
 
     def to_record(self) -> Dict[str, Any]:
         return {"spec": self.spec.to_dict(), "metrics": self.metrics,
@@ -134,7 +152,18 @@ class GridResult:
         return len(self.results)
 
     def metrics(self) -> List[Dict[str, Any]]:
-        return [r.metrics for r in self.results]
+        """Metric dicts of the *successful* cells, in spec order."""
+        return [r.metrics for r in self.results if not r.failed]
+
+    @property
+    def ok(self) -> List[RunResult]:
+        """Successful cells, in spec order."""
+        return [r for r in self.results if not r.failed]
+
+    @property
+    def failures(self) -> List[RunResult]:
+        """Permanently failed cells (``.error`` says why), in spec order."""
+        return [r for r in self.results if r.failed]
 
     @property
     def executed(self) -> int:
@@ -169,6 +198,7 @@ class GridTelemetry:
     cells: int = 0
     executed: int = 0
     cached: int = 0
+    failed: int = 0
     processed_events: int = 0
     sim_time_s: float = 0.0
     wall_time_s: float = 0.0
@@ -177,6 +207,7 @@ class GridTelemetry:
         self.cells += len(grid)
         self.executed += grid.executed
         self.cached += grid.cache_hits
+        self.failed += len(grid.failures)
         self.processed_events += grid.processed_events
         self.sim_time_s += grid.sim_time_s
         self.wall_time_s += grid.wall_time_s
@@ -184,10 +215,30 @@ class GridTelemetry:
 
     def line(self) -> str:
         """One-line run summary for CLI / benchmark output."""
+        failed = f", {self.failed} failed" if self.failed else ""
         return (f"runner: {self.cells} cells "
-                f"({self.executed} executed, {self.cached} cached), "
+                f"({self.executed} executed, {self.cached} cached{failed}), "
                 f"{self.processed_events} events, "
                 f"sim {self.sim_time_s:.1f}s in wall {self.wall_time_s:.1f}s")
+
+
+class GridError(RuntimeError):
+    """Raised by ``run_grid(strict=True)`` when cells failed for good.
+
+    Raised only after the sweep finished and every *successful* cell was
+    persisted to the cache, so a rerun re-executes just the failures.
+    The partial :class:`GridResult` rides along as ``.grid``.
+    """
+
+    def __init__(self, grid: GridResult):
+        self.grid = grid
+        self.failures = grid.failures
+        shown = "; ".join(f"{r.spec.fn}(seed={r.spec.seed}): {r.error}"
+                          for r in self.failures[:4])
+        more = (f" (+{len(self.failures) - 4} more)"
+                if len(self.failures) > 4 else "")
+        super().__init__(f"{len(self.failures)} of {len(grid)} cells "
+                         f"failed: {shown}{more}")
 
 
 def default_cache_dir() -> Path:
@@ -226,8 +277,11 @@ class RunCache:
     """Content-addressed on-disk store of completed run records.
 
     One JSON file per record, named by the spec's cache key; writes are
-    atomic (temp file + rename) so a killed sweep never leaves a
-    corrupt record behind, and a re-run simply fills in missing cells.
+    atomic and durable (temp file + fsync + rename) so a killed sweep
+    never leaves a corrupt record behind, and a re-run simply fills in
+    missing cells.  A record that is nonetheless unreadable -- truncated
+    by a full disk, hand-edited, wrong shape -- counts as a miss and is
+    evicted so it cannot shadow the slot forever.
     """
 
     def __init__(self, root: Optional[Path] = None, enabled: bool = True):
@@ -244,9 +298,25 @@ class RunCache:
         path = self._path(key)
         try:
             with path.open() as handle:
-                return json.load(handle)
-        except (OSError, json.JSONDecodeError):
+                record = json.load(handle)
+        except OSError:
             return None
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            self._evict(path)
+            return None
+        if not isinstance(record, dict) or not isinstance(
+                record.get("metrics"), dict):
+            self._evict(path)
+            return None
+        return record
+
+    @staticmethod
+    def _evict(path: Path) -> None:
+        """Drop a corrupt record; the slot becomes a plain miss."""
+        try:
+            path.unlink()
+        except OSError:
+            pass
 
     def put(self, key: str, record: Dict[str, Any]) -> None:
         if not self.enabled:
@@ -257,6 +327,8 @@ class RunCache:
             tmp = path.with_suffix(f".{os.getpid()}.tmp")
             with tmp.open("w") as handle:
                 json.dump(record, handle)
+                handle.flush()
+                os.fsync(handle.fileno())
             tmp.replace(path)
         except OSError as exc:
             # An unwritable cache must not kill a sweep that already
@@ -316,13 +388,177 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
+#: Ceiling on the retry backoff, seconds.
+RETRY_BACKOFF_CAP_S = 10.0
+
+
+def _failed_result(spec: RunSpec, reason: str, attempts: int) -> RunResult:
+    return RunResult(spec=spec, metrics={}, wall_time_s=0.0, sim_time_s=0.0,
+                     processed_events=0, cached=False, error=reason,
+                     attempts=attempts)
+
+
+def _retry_delay(backoff_s: float, attempt: int) -> float:
+    """Capped exponential backoff before retry number ``attempt + 1``."""
+    return min(RETRY_BACKOFF_CAP_S, backoff_s * (2 ** attempt))
+
+
+def _run_serial(specs: List[RunSpec], misses: List[int], *, retries: int,
+                retry_backoff_s: float,
+                on_result: Callable[[int, RunResult], None]) -> None:
+    """In-process execution: no crash isolation and no hard deadline,
+    but also no fork overhead -- the ``--jobs 1`` fast path."""
+    for index in misses:
+        attempt = 0
+        while True:
+            try:
+                result = execute_spec(specs[index])
+                result.attempts = attempt + 1
+                on_result(index, result)
+                break
+            except Exception as exc:
+                if attempt >= retries:
+                    on_result(index, _failed_result(
+                        specs[index], f"{type(exc).__name__}: {exc}",
+                        attempt + 1))
+                    break
+                time.sleep(_retry_delay(retry_backoff_s, attempt))
+                attempt += 1
+
+
+def _worker_main(conn, spec: RunSpec) -> None:
+    """Worker-process entry: run one cell, ship the outcome, exit."""
+    try:
+        result = execute_spec(spec)
+        conn.send(("ok", result.metrics, result.wall_time_s))
+    except BaseException as exc:  # the parent must learn of *any* death
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except OSError:
+            pass
+    finally:
+        conn.close()
+
+
+def _run_pool(specs: List[RunSpec], misses: List[int], *, jobs: int,
+              timeout_s: Optional[float], retries: int,
+              retry_backoff_s: float,
+              on_result: Callable[[int, RunResult], None]) -> None:
+    """Process-isolated execution: one worker process per cell.
+
+    Each cell gets its own :class:`multiprocessing.Process` and pipe, so
+    a worker that dies (EOF on the pipe) or overruns its deadline
+    (terminated) takes down nothing but its own cell.  A pool executor
+    cannot give that isolation: its atexit join would hang forever on a
+    truly hung worker, and one crashed worker poisons the whole map.
+    """
+    ctx = multiprocessing.get_context()
+    workers = max(1, min(jobs, len(misses)))
+    #: (spec index, prior attempts, earliest monotonic start time)
+    pending = deque((index, 0, 0.0) for index in misses)
+    #: pipe -> (spec index, prior attempts, process, monotonic deadline)
+    running: Dict[Any, Tuple[int, int, Any, Optional[float]]] = {}
+
+    def settle(index: int, attempt: int, reason: str) -> None:
+        if attempt < retries:
+            resume_at = (time.monotonic()
+                         + _retry_delay(retry_backoff_s, attempt))
+            pending.append((index, attempt + 1, resume_at))
+        else:
+            on_result(index, _failed_result(specs[index], reason,
+                                            attempt + 1))
+
+    def reap(conn, *, terminated_reason: Optional[str] = None) -> None:
+        index, attempt, proc, _ = running.pop(conn)
+        message = None
+        if terminated_reason is None:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                message = None
+        else:
+            proc.terminate()
+            proc.join(1.0)
+            if proc.is_alive():
+                proc.kill()
+        conn.close()
+        proc.join()
+        if terminated_reason is not None:
+            settle(index, attempt, terminated_reason)
+        elif message is None:
+            settle(index, attempt,
+                   f"worker crashed (exit code {proc.exitcode})")
+        elif message[0] == "ok":
+            _, metrics, wall = message
+            on_result(index, RunResult(
+                spec=specs[index], metrics=metrics, wall_time_s=wall,
+                sim_time_s=float(metrics.get("sim_time_s", 0.0)),
+                processed_events=int(metrics.get("processed_events", 0)),
+                cached=False, attempts=attempt + 1))
+        else:
+            settle(index, attempt, message[1])
+
+    while pending or running:
+        now = time.monotonic()
+        # Launch: fill free slots with cells whose backoff has elapsed.
+        launchable = sorted(item for item in pending if item[2] <= now)
+        for item in launchable:
+            if len(running) >= workers:
+                break
+            pending.remove(item)
+            index, attempt, _ = item
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(target=_worker_main,
+                               args=(child_conn, specs[index]), daemon=True)
+            proc.start()
+            child_conn.close()
+            deadline = (time.monotonic() + timeout_s
+                        if timeout_s is not None else None)
+            running[parent_conn] = (index, attempt, proc, deadline)
+
+        # How long may we block?  Until the nearest worker deadline or
+        # the nearest backoff expiry, whichever comes first.
+        now = time.monotonic()
+        horizons = [d for (_, _, _, d) in running.values() if d is not None]
+        horizons += [item[2] for item in pending if item[2] > now]
+        wait_s = max(0.0, min(horizons) - now) if horizons else None
+
+        if running:
+            for conn in _connection_wait(list(running), wait_s):
+                reap(conn)
+        elif wait_s:
+            time.sleep(wait_s)
+
+        # Deadline sweep: terminate overrunning workers.
+        if timeout_s is not None:
+            now = time.monotonic()
+            overdue = [conn for conn, (_, _, _, deadline) in running.items()
+                       if deadline is not None and deadline <= now]
+            for conn in overdue:
+                reap(conn, terminated_reason=(
+                    f"timed out after {timeout_s:g}s"))
+
+
 def run_grid(specs: Iterable[RunSpec], *, jobs: Optional[int] = None,
-             cache: Optional[RunCache] = None) -> GridResult:
+             cache: Optional[RunCache] = None,
+             timeout_s: Optional[float] = None, retries: int = 0,
+             retry_backoff_s: float = 0.5,
+             strict: bool = True) -> GridResult:
     """Execute a grid of specs, reusing cached cells, in spec order.
 
     Aggregated output is independent of ``jobs``: cells are pure
     functions of their spec, and results are returned in the order the
     specs were given regardless of completion order.
+
+    ``timeout_s`` puts a wall-clock deadline on every cell (forcing
+    process isolation even at ``jobs=1``); ``retries`` re-runs a
+    crashed / hung / raising cell that many extra times with capped
+    exponential backoff starting at ``retry_backoff_s``.  Every
+    successful cell is cached the moment it finishes, so an interrupted
+    or partly-failed sweep resumes with only the missing cells.  With
+    ``strict`` (the default) a permanently failed cell raises
+    :class:`GridError` at the end; ``strict=False`` instead returns the
+    failures inline (``GridResult.failures``, each with ``.error``).
     """
     specs = list(specs)
     if cache is None:
@@ -331,29 +567,34 @@ def run_grid(specs: Iterable[RunSpec], *, jobs: Optional[int] = None,
     version = code_version()
 
     keys = [spec.key(version) for spec in specs]
-    results: List[Optional[RunResult]] = []
+    results: List[Optional[RunResult]] = [None] * len(specs)
     misses: List[int] = []
     for i, (spec, key) in enumerate(zip(specs, keys)):
         record = cache.get(key)
         if record is not None:
-            results.append(_result_from_record(spec, record))
+            results[i] = _result_from_record(spec, record)
         else:
-            results.append(None)
             misses.append(i)
 
     if misses:
-        if jobs == 1 or len(misses) == 1:
-            fresh = [execute_spec(specs[i]) for i in misses]
-        else:
-            with ProcessPoolExecutor(max_workers=min(jobs,
-                                                     len(misses))) as pool:
-                fresh = list(pool.map(execute_spec,
-                                      [specs[i] for i in misses]))
-        for i, result in zip(misses, fresh):
-            cache.put(keys[i], result.to_record())
-            results[i] = result
+        def on_result(index: int, result: RunResult) -> None:
+            if not result.failed:
+                cache.put(keys[index], result.to_record())
+            results[index] = result
 
-    return GridResult(results=[r for r in results if r is not None])
+        if jobs > 1 or timeout_s is not None:
+            _run_pool(specs, misses, jobs=jobs, timeout_s=timeout_s,
+                      retries=retries, retry_backoff_s=retry_backoff_s,
+                      on_result=on_result)
+        else:
+            _run_serial(specs, misses, retries=retries,
+                        retry_backoff_s=retry_backoff_s,
+                        on_result=on_result)
+
+    grid_result = GridResult(results=[r for r in results if r is not None])
+    if strict and grid_result.failures:
+        raise GridError(grid_result)
+    return grid_result
 
 
 def grid(fn: str, seeds: Iterable[int], **param_grid: Any) -> List[RunSpec]:

@@ -18,6 +18,7 @@ from repro.core.adversary import AttackReport, Http2SerializationAttack
 from repro.core.metrics import degree_of_multiplexing, object_serialized
 from repro.core.phases import AttackConfig
 from repro.core.predictor import SizeIdentityMap
+from repro.faults import FaultInjector, FaultPlan
 from repro.http2.client import Http2Client, Http2ClientConfig
 from repro.http2.server import Http2Server, Http2ServerConfig
 from repro.simnet.engine import Simulator
@@ -58,6 +59,9 @@ class SessionConfig:
     #: Browser implementation (e.g. the request-batching defense's
     #: :class:`repro.defenses.batching.BatchingBrowser`).
     browser_class: type = Browser
+    #: Fault schedule: a :class:`repro.faults.FaultPlan` or its
+    #: JSON-able event list.  None disables injection.
+    faults: Optional[object] = None
 
 
 @dataclass
@@ -79,6 +83,8 @@ class SessionResult:
     retransmissions_s2c: int
     #: Events the simulator executed (perf telemetry for the runner).
     processed_events: int = 0
+    #: The armed fault injector (``.applied`` logs what fired), or None.
+    injector: Optional[FaultInjector] = None
 
     @property
     def permutation(self):
@@ -155,6 +161,12 @@ def run_session(config: SessionConfig) -> SessionResult:
     if config.plan_transform is not None:
         plan = config.plan_transform(plan, sim.rng("plan-transform"))
 
+    injector: Optional[FaultInjector] = None
+    fault_plan = FaultPlan.coerce(config.faults)
+    if fault_plan is not None and len(fault_plan):
+        injector = FaultInjector(sim, topo, server=server, plan=fault_plan)
+        injector.arm()
+
     browser = config.browser_class(sim, client, plan, config.browser)
     browser.start()
 
@@ -179,6 +191,7 @@ def run_session(config: SessionConfig) -> SessionResult:
         retransmissions_c2s=len(trace.retransmitted_packets(CLIENT_TO_SERVER)),
         retransmissions_s2c=len(trace.retransmitted_packets(SERVER_TO_CLIENT)),
         processed_events=sim.processed_events,
+        injector=injector,
     )
 
 

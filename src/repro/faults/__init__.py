@@ -1,0 +1,22 @@
+"""Deterministic fault injection for the simulated stack.
+
+A :class:`FaultPlan` is a JSON-able schedule of fault events (link
+flaps, middlebox crashes, server stalls and aborts).  The
+:class:`FaultInjector` arms a plan against a live topology/server: every
+event becomes a simulator callback, so the same plan and seed reproduce
+byte-identical traces on every run and at any worker count.
+
+See ``docs/FAULTS.md`` for the fault model and determinism guarantees.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FAULT_KINDS, FaultEvent, FaultPlan
+from repro.faults.scenarios import plan_for_intensity
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "plan_for_intensity",
+]

@@ -1,0 +1,97 @@
+"""Turns a :class:`FaultPlan` into simulator callbacks.
+
+Every fault edge (onset and recovery) is a normal event on the
+simulator's heap, so faults interleave with protocol traffic in the one
+deterministic event order the seed defines -- there is no second clock
+and no out-of-band thread.  The injector keeps an ``applied`` log of
+``(time, action, target)`` tuples; tests and experiments assert against
+it to prove the schedule fired exactly as planned.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.faults.plan import FaultEvent, FaultPlan
+
+
+class FaultInjector:
+    """Arms a fault plan against a live topology/server."""
+
+    def __init__(self, sim, topology, server=None, plan: Optional[FaultPlan] = None):
+        self.sim = sim
+        self.topology = topology
+        self.server = server
+        self.plan = plan or FaultPlan()
+        #: ``(sim_time, action, target)`` in execution order.
+        self.applied: List[Tuple[float, str, str]] = []
+        self._armed = False
+
+    def arm(self) -> None:
+        """Schedule every event in the plan.  Call once, before run."""
+        if self._armed:
+            raise RuntimeError("injector already armed")
+        self._armed = True
+        self.plan.validate()
+        for event in self.plan:
+            self._schedule(event)
+
+    def _schedule(self, event: FaultEvent) -> None:
+        if event.kind == "link_down":
+            link = self.topology.links.get(event.target)
+            if link is None:
+                raise ValueError(
+                    f"unknown link {event.target!r}; topology has "
+                    f"{sorted(self.topology.links)}")
+            self.sim.schedule_at(event.at_s, self._link_down, event, link)
+        elif event.kind == "middlebox_crash":
+            self.sim.schedule_at(event.at_s, self._middlebox_crash, event)
+        elif event.kind == "server_stall":
+            self._require_server(event)
+            self.sim.schedule_at(event.at_s, self._server_stall, event)
+        elif event.kind == "server_abort":
+            self._require_server(event)
+            self.sim.schedule_at(event.at_s, self._server_abort, event)
+        else:  # pragma: no cover - plan.validate() rejects these
+            raise ValueError(f"unknown fault kind {event.kind!r}")
+
+    def _require_server(self, event: FaultEvent) -> None:
+        if self.server is None:
+            raise ValueError(f"{event.kind} event needs a server, "
+                             "but the injector was built without one")
+
+    def _log(self, action: str, target: str = "") -> None:
+        self.applied.append((self.sim.now, action, target))
+
+    # -- event bodies -------------------------------------------------------
+
+    def _link_down(self, event: FaultEvent, link) -> None:
+        link.set_down()
+        self._log("link_down", event.target)
+        self.sim.schedule(event.duration_s, self._link_up, event, link)
+
+    def _link_up(self, event: FaultEvent, link) -> None:
+        link.set_up()
+        self._log("link_up", event.target)
+
+    def _middlebox_crash(self, event: FaultEvent) -> None:
+        self.topology.middlebox.fail()
+        self._log("middlebox_crash")
+        self.sim.schedule(event.duration_s, self._middlebox_recover)
+
+    def _middlebox_recover(self) -> None:
+        self.topology.middlebox.recover()
+        self._log("middlebox_recover")
+
+    def _server_stall(self, event: FaultEvent) -> None:
+        self.server.stall()
+        self._log("server_stall")
+        self.sim.schedule(event.duration_s, self._server_resume)
+
+    def _server_resume(self) -> None:
+        self.server.resume()
+        self._log("server_resume")
+
+    def _server_abort(self, event: FaultEvent) -> None:
+        self.server.abort_connections()
+        self._log("server_abort")

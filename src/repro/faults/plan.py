@@ -1,0 +1,120 @@
+"""Fault plans: declarative, JSON-able schedules of fault events.
+
+A plan is data, not behaviour: it can ride inside a
+:class:`repro.experiments.runner.RunSpec`'s params (and therefore inside
+the cache key), cross a process boundary as JSON, and be compared for
+equality.  The :class:`repro.faults.injector.FaultInjector` turns it
+into simulator callbacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Optional, Tuple
+
+#: Recognised fault kinds.
+#:
+#: ``link_down``       -- administratively down a named link for
+#:                        ``duration_s``; packets offered while down are
+#:                        dropped, in-flight packets still arrive.
+#: ``middlebox_crash`` -- the gateway dies for ``duration_s``: it
+#:                        forwards nothing and its taps (the adversary's
+#:                        monitor, the trace recorder) observe nothing.
+#: ``server_stall``    -- the server's mux pump freezes for
+#:                        ``duration_s``; workers keep queueing frames.
+#: ``server_abort``    -- the server tears down every open connection
+#:                        (best-effort GOAWAY, then an immediate close).
+#:                        Instantaneous; ``duration_s`` must be 0.
+FAULT_KINDS = ("link_down", "middlebox_crash", "server_stall", "server_abort")
+
+#: Kinds that name a target (currently only links).
+_TARGETED_KINDS = ("link_down",)
+
+#: Kinds with no recovery edge.
+_INSTANT_KINDS = ("server_abort",)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault."""
+
+    kind: str
+    #: Absolute simulation time the fault begins.
+    at_s: float
+    #: How long the fault lasts; 0 for instantaneous kinds.
+    duration_s: float = 0.0
+    #: Addressed entity (a link name from ``StandardTopology.links``
+    #: for ``link_down``; empty otherwise).
+    target: str = ""
+
+    def validate(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r} "
+                             f"(expected one of {FAULT_KINDS})")
+        if self.at_s < 0:
+            raise ValueError(f"{self.kind}: at_s must be >= 0, got {self.at_s}")
+        if self.duration_s < 0:
+            raise ValueError(f"{self.kind}: duration_s must be >= 0, "
+                             f"got {self.duration_s}")
+        if self.kind in _INSTANT_KINDS and self.duration_s != 0:
+            raise ValueError(f"{self.kind} is instantaneous; "
+                             f"duration_s must be 0, got {self.duration_s}")
+        if self.kind in _TARGETED_KINDS and not self.target:
+            raise ValueError(f"{self.kind} requires a target link name")
+        if self.kind not in _TARGETED_KINDS and self.target:
+            raise ValueError(f"{self.kind} takes no target, "
+                             f"got {self.target!r}")
+
+    def to_jsonable(self) -> dict:
+        return {"kind": self.kind, "at_s": self.at_s,
+                "duration_s": self.duration_s, "target": self.target}
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "FaultEvent":
+        event = cls(kind=data["kind"], at_s=float(data["at_s"]),
+                    duration_s=float(data.get("duration_s", 0.0)),
+                    target=str(data.get("target", "")))
+        event.validate()
+        return event
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered schedule of fault events."""
+
+    events: Tuple[FaultEvent, ...] = ()
+
+    def validate(self) -> None:
+        for event in self.events:
+            event.validate()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def sorted(self) -> "FaultPlan":
+        """Events in (time, kind, target) order -- a canonical form that
+        makes two equal schedules compare (and hash in the cache) equal."""
+        return FaultPlan(tuple(sorted(
+            self.events, key=lambda e: (e.at_s, e.kind, e.target))))
+
+    def to_jsonable(self) -> List[dict]:
+        return [event.to_jsonable() for event in self.events]
+
+    @classmethod
+    def from_jsonable(cls, data: Iterable[dict]) -> "FaultPlan":
+        return cls(tuple(FaultEvent.from_jsonable(item) for item in data))
+
+    @classmethod
+    def coerce(cls, value: Any) -> Optional["FaultPlan"]:
+        """Accept a plan, a JSON-able event list, or None."""
+        if value is None:
+            return None
+        if isinstance(value, FaultPlan):
+            value.validate()
+            return value
+        if isinstance(value, (list, tuple)):
+            return cls.from_jsonable(value)
+        raise TypeError(f"cannot build a FaultPlan from {type(value).__name__}")

@@ -107,6 +107,11 @@ class ClientConnection(Http2Connection):
             # The server refused the stream before doing any work
             # (concurrency cap or graceful shutdown): safe to retry.
             self.client._retry_refused(stream)
+        else:
+            # The server killed a stream it had started (worker crash,
+            # internal error): retry on a fresh stream with capped
+            # exponential backoff.
+            self.client._retry_errored(stream)
 
     def handle_push_promise(self, frame: fr.PushPromiseFrame) -> None:
         path = frame.headers.get(":path", "")
@@ -138,10 +143,13 @@ class Http2Client:
         self.completed: List[ClientStream] = []
         self.goaway = False
         self.refused_retries = 0
+        self.stream_retries = 0
+        self.reconnects = 0
         self.connection: Optional[ClientConnection] = None
         #: Callback for server-pushed streams (defense evaluations).
         self.on_push: Optional[Callable[[ClientStream], None]] = None
         self._next_stream_id = 1
+        self._queued_requests: List[ClientStream] = []
         self._on_ready: Optional[Callable[[], None]] = None
         self._tcp_config = tcp_config or TcpConfig()
         self.tcp = TcpStack(sim, host, self._tcp_config)
@@ -163,6 +171,14 @@ class Http2Client:
         tls.start_handshake()
 
     def _on_h2_ready(self) -> None:
+        # Requests that arrived while the connection was (re)dialling go
+        # out first, in arrival order.
+        queued, self._queued_requests = self._queued_requests, []
+        for stream in queued:
+            if not stream.reset:
+                stream.requested_at = self.sim.now
+                stream.last_progress = self.sim.now
+                self._send_request(stream)
         if self._on_ready is not None:
             callback, self._on_ready = self._on_ready, None
             callback()
@@ -178,14 +194,45 @@ class Http2Client:
             return True
         return self._tcp_conn is not None and self._tcp_conn.state == "closed"
 
+    def reconnect(self, on_ready: Callable[[], None]) -> None:
+        """Graceful degradation: abandon the dead connection and dial a
+        fresh one (TCP + TLS + HTTP/2).
+
+        Streams still pending on the old connection are marked reset so
+        the browser's re-request accounting sees them as lost; stream
+        ids keep counting upward across connections so every request of
+        the session stays uniquely addressable (a fresh connection only
+        requires ids to be odd and increasing).
+        """
+        self.reconnects += 1
+        if self._tcp_conn is not None and self._tcp_conn.state != "closed":
+            self._tcp_conn.abort()
+        for stream in self.streams.values():
+            if stream.pending:
+                stream.reset = True
+        self.goaway = False
+        self.connection = None
+        # A new connection renegotiates everything, including the
+        # session cookie on its first request.
+        self._first_request_sent = False
+        self._on_ready = on_ready
+        self._tcp_conn = self.tcp.connect(self.server_addr, self.port,
+                                          self._on_tcp_established)
+
     # -- requests ----------------------------------------------------------------
 
     def request(self, path: str, weight: int = 16,
                 on_complete: Optional[Callable[[ClientStream], None]] = None,
                 on_first_byte: Optional[Callable[[ClientStream], None]] = None,
                 ) -> ClientStream:
-        """Send a GET for ``path`` on a fresh stream."""
-        if self.connection is None:
+        """Send a GET for ``path`` on a fresh stream.
+
+        While a (re)dial is in flight the request is queued and goes out
+        as soon as the new connection is ready -- page-load phases keep
+        firing during recovery and must not crash into a half-open
+        connection.
+        """
+        if self.connection is None and self._tcp_conn is None:
             raise RuntimeError("request() before connect()")
         stream_id = self._next_stream_id
         self._next_stream_id += 2
@@ -195,16 +242,28 @@ class Http2Client:
                               on_complete=on_complete,
                               on_first_byte=on_first_byte)
         self.streams[stream_id] = stream
+        if self._sendable():
+            self._send_request(stream)
+        else:
+            self._queued_requests.append(stream)
+        return stream
 
-        headers = self._request_headers(path)
+    def _sendable(self) -> bool:
+        """Frames can go out right now: the connection finished its
+        handshakes and its transport has not been torn down (the server
+        may have aborted between the browser's liveness checks)."""
+        return (self.connection is not None and self.connection.ready
+                and self.connection.tls.conn.state != "closed")
+
+    def _send_request(self, stream: ClientStream) -> None:
+        headers = self._request_headers(stream.path)
         block = self.hpack.encode_size(headers)
-        frame = fr.HeadersFrame(stream_id=stream_id,
+        frame = fr.HeadersFrame(stream_id=stream.stream_id,
                                 headers=dict(headers),
                                 header_block_len=block,
                                 end_stream=True,
-                                priority_weight=weight)
+                                priority_weight=stream.weight)
         self.connection.send_frame(frame)
-        return stream
 
     def request_batch(self, paths: List[str], weight: int = 16,
                       on_complete: Optional[Callable[[ClientStream], None]] = None,
@@ -262,6 +321,10 @@ class Http2Client:
         if stream.complete or stream.reset:
             return
         stream.reset = True
+        if not self._sendable():
+            # Never went out on the wire (or the wire is gone); there is
+            # nothing to tell the server.
+            return
         self.connection.send_frame(fr.RstStreamFrame(stream_id=stream.stream_id,
                                                      error_code=int(code)))
 
@@ -273,6 +336,12 @@ class Http2Client:
     REFUSED_RETRY_DELAY_S = 0.05
     #: Retries allowed per refused request.
     MAX_REFUSED_RETRIES = 3
+    #: First backoff before retrying a stream the server errored out.
+    ERROR_RETRY_BASE_S = 0.1
+    #: Exponential-backoff ceiling for errored-stream retries.
+    ERROR_RETRY_CAP_S = 2.0
+    #: Retries allowed per errored stream.
+    MAX_ERROR_RETRIES = 3
 
     def _retry_refused(self, stream: ClientStream) -> None:
         retries = getattr(stream, "_refused_retries", 0)
@@ -290,6 +359,27 @@ class Http2Client:
             replacement._refused_retries = retries + 1
 
         self.sim.schedule(self.REFUSED_RETRY_DELAY_S, retry)
+
+    def _retry_errored(self, stream: ClientStream) -> None:
+        """Re-request after a server-side stream error, with capped
+        exponential backoff (base * 2^n, clamped)."""
+        retries = getattr(stream, "_error_retries", 0)
+        if retries >= self.MAX_ERROR_RETRIES or self.broken:
+            return
+        self.stream_retries += 1
+        delay = min(self.ERROR_RETRY_CAP_S,
+                    self.ERROR_RETRY_BASE_S * (2 ** retries))
+
+        def retry() -> None:
+            if self.broken or self.connection is None:
+                return
+            replacement = self.request(stream.path, weight=stream.weight,
+                                       on_complete=stream.on_complete,
+                                       on_first_byte=stream.on_first_byte)
+            replacement.on_progress = stream.on_progress
+            replacement._error_retries = retries + 1
+
+        self.sim.schedule(delay, retry)
 
     def _complete(self, stream: ClientStream) -> None:
         stream.completed_at = self.sim.now

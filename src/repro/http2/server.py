@@ -95,6 +95,7 @@ class ServerConnection(Http2Connection):
         self._serve_ids = 0
         self._next_push_stream_id = 2
         self._shutting_down = False
+        self._aborted = False
         self.refused_streams = 0
         self._dynamic_cache: Dict[str, bool] = {}
         self._rng = server.sim.rng("http2-server")
@@ -170,9 +171,30 @@ class ServerConnection(Http2Connection):
         self.send_frame(fr.GoAwayFrame(last_stream_id=last,
                                        error_code=int(ErrorCode.NO_ERROR)))
 
+    def abort(self, error_code: ErrorCode = ErrorCode.INTERNAL_ERROR) -> None:
+        """Crash close: GOAWAY with an error, then tear the TCP
+        connection down mid-response.
+
+        The GOAWAY is best-effort -- ``close()`` sends a FIN immediately
+        and abandons retransmission, exactly like a process that dies
+        with unflushed sockets -- so the client may see only the FIN.
+        Idempotent."""
+        if self._aborted:
+            return
+        self._aborted = True
+        self._shutting_down = True
+        if self.tls.conn.state != "closed":
+            last = max((sid for sid in self.streams if sid % 2 == 1),
+                       default=0)
+            self.send_frame(fr.GoAwayFrame(last_stream_id=last,
+                                           error_code=int(error_code)))
+            self.tls.conn.close()
+
     # -- workers -----------------------------------------------------------------
 
     def _spawn_worker(self, stream_id: int, path: str, dup: bool) -> None:
+        if self._aborted:
+            return
         stream = self.streams.get(stream_id)
         if stream is None or stream.was_reset:
             return
@@ -310,6 +332,11 @@ class ServerConnection(Http2Connection):
     def pump(self) -> None:
         """Drain stream queues into TCP while there is room."""
         tcp = self.tls.conn
+        if self._aborted or self.server.stalled or tcp.state == "closed":
+            # A stalled server mux stops transmitting (workers keep
+            # queueing); an aborted/closed connection has nowhere to
+            # transmit to.
+            return
         watermark = self.config.backlog_watermark_bytes
         while tcp.unsent_backlog < watermark:
             eligible = self._eligible_streams()
@@ -380,6 +407,10 @@ class Http2Server:
         self.config = config or Http2ServerConfig()
         self.hpack = HpackEncoder()
         self.connections: List[ServerConnection] = []
+        #: While True the mux pump transmits nothing (a wedged worker
+        #: pool / GC pause / overloaded host); workers keep generating.
+        self.stalled = False
+        self.stalls = 0
 
         tcp_config = tcp_config or TcpConfig(deliver_duplicates=True)
         self.tcp = TcpStack(sim, host, tcp_config)
@@ -388,6 +419,30 @@ class Http2Server:
     def _on_accept(self, conn: TcpConnection) -> None:
         tls = TlsSession(conn, role="server")
         self.connections.append(ServerConnection(self, tls))
+
+    # -- fault-injection control surface ---------------------------------
+
+    def stall(self) -> None:
+        """Freeze the mux: no frame leaves any connection until
+        :meth:`resume`.  Idempotent."""
+        if not self.stalled:
+            self.stalled = True
+            self.stalls += 1
+
+    def resume(self) -> None:
+        """Unfreeze the mux and drain whatever queued up meanwhile."""
+        if not self.stalled:
+            return
+        self.stalled = False
+        for connection in self.connections:
+            connection.pump()
+
+    def abort_connections(self,
+                          error_code: ErrorCode = ErrorCode.INTERNAL_ERROR,
+                          ) -> None:
+        """Crash-close every open connection (GOAWAY + immediate FIN)."""
+        for connection in list(self.connections):
+            connection.abort(error_code)
 
     def combined_tx_log(self) -> List[TxEntry]:
         """Concatenated transmission log across connections."""

@@ -35,6 +35,7 @@ PACKAGE_LAYERS = (
     ("repro.core", "analysis"),
     ("repro.analysis", "analysis"),
     ("repro.defenses", "analysis"),
+    ("repro.faults", "analysis"),
     ("repro.experiments", "experiments"),
     ("repro.lint", "interface"),
     ("repro.cli", "interface"),

@@ -49,6 +49,7 @@ class LinkStats:
     delivered: int = 0
     dropped_loss: int = 0
     dropped_queue: int = 0
+    dropped_down: int = 0
     bytes_delivered: int = 0
 
 
@@ -64,21 +65,50 @@ class Link:
         self._busy_until = 0.0
         self._queued_bytes = 0
         self._last_arrival = 0.0
+        self._up = True
+        self._down_count = 0
         self._rng = sim.rng(f"link:{name}")
 
     def attach(self, receiver: Callable[[Packet], None]) -> None:
         """Set the callable invoked with each delivered packet."""
         self._receiver = receiver
 
+    # -- administrative state (fault injection: flaps, blackholes) --------
+
+    @property
+    def up(self) -> bool:
+        """Administrative state; a down link blackholes new packets."""
+        return self._up
+
+    @property
+    def flaps(self) -> int:
+        """Number of up -> down transitions so far."""
+        return self._down_count
+
+    def set_down(self) -> None:
+        """Take the link down.  Packets already serialized or in flight
+        still arrive (the bits are on the wire); packets offered while
+        down are dropped.  Idempotent."""
+        if self._up:
+            self._up = False
+            self._down_count += 1
+
+    def set_up(self) -> None:
+        """Bring the link back up.  Idempotent."""
+        self._up = True
+
     def send(self, packet: Packet) -> bool:
         """Enqueue ``packet`` for transmission.
 
-        Returns ``False`` when the packet was dropped (loss or full
-        queue), ``True`` when it was accepted.
+        Returns ``False`` when the packet was dropped (down link, loss
+        or full queue), ``True`` when it was accepted.
         """
         if self._receiver is None:
             raise RuntimeError(f"link {self.name} has no receiver attached")
         self.stats.sent += 1
+        if not self._up:
+            self.stats.dropped_down += 1
+            return False
         if self.config.loss_rate > 0 and self._rng.random() < self.config.loss_rate:
             self.stats.dropped_loss += 1
             return False

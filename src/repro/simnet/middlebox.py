@@ -255,6 +255,7 @@ class MiddleboxStats:
 
     forwarded: int = 0
     dropped: int = 0
+    dropped_failed: int = 0
 
 
 class Middlebox:
@@ -266,6 +267,9 @@ class Middlebox:
         self._policies: List[Policy] = []
         self._taps: List[Callable] = []
         self._out = {}  # direction -> Link
+        self._failed = False
+        self._saved_policies: List[Policy] = []
+        self.crashes = 0
         self.stats = {d: MiddleboxStats() for d in DIRECTIONS}
 
     # -- wiring ---------------------------------------------------------
@@ -303,11 +307,47 @@ class Middlebox:
     def policies(self) -> tuple:
         return tuple(self._policies)
 
+    # -- crash / restart (fault injection) --------------------------------
+
+    @property
+    def failed(self) -> bool:
+        """True while the device is down (crashed, not yet restarted)."""
+        return self._failed
+
+    def fail(self) -> None:
+        """Crash the device: the policy chain drops out and every packet
+        offered while down is lost (the gateway *is* the path).
+        Idempotent."""
+        if self._failed:
+            return
+        self._failed = True
+        self.crashes += 1
+        self._saved_policies = list(self._policies)
+        self._policies.clear()
+
+    def recover(self) -> None:
+        """Restart the device: forwarding resumes and the policy chain
+        saved at crash time re-attaches (with its pre-crash internal
+        state -- the adversary's controller re-installs from its own
+        copy, it does not rebuild the policies).  Idempotent."""
+        if not self._failed:
+            return
+        self._failed = False
+        self._policies.extend(self._saved_policies)
+        self._saved_policies = []
+
     # -- forwarding -------------------------------------------------------
 
     def _on_packet(self, packet: Packet, direction: str) -> None:
         now = self.sim.now
         view = packet.wire_view()
+        if self._failed:
+            # A dead device neither forwards nor observes: taps (the
+            # adversary's monitor, the trace recorder) run *on* the
+            # middlebox and therefore see nothing while it is down.
+            self.stats[direction].dropped += 1
+            self.stats[direction].dropped_failed += 1
+            return
         release = now
         dropped = False
         for policy in self._policies:

@@ -76,6 +76,15 @@ class StandardTopology:
         self.middlebox.attach(CLIENT_TO_SERVER, self._c2m, self._m2s)
         self.middlebox.attach(SERVER_TO_CLIENT, self._s2m, self._m2c)
 
+        #: Name -> link registry; the fault injector addresses link
+        #: flap / blackhole targets through these stable names.
+        self.links = {
+            "client->mbox": self._c2m,
+            "mbox->server": self._m2s,
+            "server->mbox": self._s2m,
+            "mbox->client": self._m2c,
+        }
+
         self.trace = TraceRecorder()
         self.middlebox.add_tap(self.trace)
 

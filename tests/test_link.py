@@ -111,6 +111,47 @@ def test_stats_counters():
     assert link.stats.bytes_delivered == 2000
 
 
+def test_down_link_blackholes_new_packets():
+    sim = Simulator()
+    link, arrivals = make_link(sim)
+    link.set_down()
+    assert link.send(Packet(src="a", dst="b", size=100)) is False
+    sim.run()
+    assert arrivals == []
+    assert link.stats.dropped_down == 1
+    link.set_up()
+    assert link.send(Packet(src="a", dst="b", size=100)) is True
+    sim.run()
+    assert len(arrivals) == 1
+
+
+def test_set_down_is_idempotent_and_counts_flaps():
+    sim = Simulator()
+    link, _ = make_link(sim)
+    link.set_down()
+    link.set_down()
+    assert link.flaps == 1
+    assert not link.up
+    link.set_up()
+    link.set_up()
+    assert link.up
+    link.set_down()
+    assert link.flaps == 2
+
+
+def test_in_flight_packets_survive_a_flap():
+    # The bits are already on the wire when the link goes down: the
+    # packet still arrives, only later offers are blackholed.
+    sim = Simulator()
+    link, arrivals = make_link(sim, bandwidth_bps=8e6, propagation_s=0.05)
+    link.send(Packet(src="a", dst="b", size=1000))  # arrives at 0.051
+    sim.schedule_at(0.01, link.set_down)
+    sim.run()
+    assert len(arrivals) == 1
+    assert link.stats.dropped_down == 0
+    assert link.stats.delivered == 1
+
+
 def test_queue_depth_tracks_backlog():
     sim = Simulator()
     link, _ = make_link(sim, bandwidth_bps=8e3)

@@ -16,6 +16,8 @@ from repro.simnet.middlebox import (
     WindowedDropPolicy,
 )
 from repro.simnet.packet import Packet
+from repro.simnet.topology import StandardTopology, TopologyConfig
+from repro.tcp.connection import TcpConfig, TcpStack
 from repro.tcp.segment import RecordSlice, TcpSegment
 from repro.tls.record import APPLICATION_DATA, TlsRecord
 
@@ -191,6 +193,37 @@ def test_windowed_drop_only_in_window_and_matched():
     assert policy.dropped == 1
 
 
+def test_drop_window_boundaries_exactly_at_release_time():
+    """The window is half-open: a packet released exactly at
+    ``start_at`` is dropped, one released exactly at ``end_at`` passes."""
+    sim = Simulator(seed=0)
+    policy = WindowedDropPolicy(sim, rate=1.0, direction=CLIENT_TO_SERVER,
+                                start_at=0.5, end_at=1.0)
+    view = make_app_packet().wire_view()
+    assert not policy.process(view, CLIENT_TO_SERVER, 0.5 - 1e-9).drop
+    assert policy.process(view, CLIENT_TO_SERVER, 0.5).drop
+    assert policy.process(view, CLIENT_TO_SERVER, 1.0 - 1e-9).drop
+    assert not policy.process(view, CLIENT_TO_SERVER, 1.0).drop
+    assert policy.dropped == 2
+
+
+def test_drop_window_applies_to_release_time_not_arrival():
+    """An upstream delay shifts packets across the window boundary: the
+    window acts on when the packet would hit the wire, not when it
+    reached the middlebox."""
+    rig = MboxRig()
+    rig.mbox.add_policy(UniformDelayPolicy(0.3, direction=CLIENT_TO_SERVER))
+    policy = rig.mbox.add_policy(WindowedDropPolicy(
+        rig.sim, rate=1.0, direction=CLIENT_TO_SERVER,
+        start_at=0.5, end_at=1.0))
+    rig.send_c2s(make_app_packet(), at=0.3)   # released 0.6: inside
+    rig.send_c2s(make_app_packet(), at=0.8)   # released 1.1: past the end
+    rig.sim.run()
+    assert policy.dropped == 1
+    assert len(rig.server_arrivals) == 1
+    assert rig.server_arrivals[0][0] == pytest.approx(1.1, abs=1e-6)
+
+
 def test_tap_sees_drops():
     rig = MboxRig()
     rig.mbox.add_policy(WindowedDropPolicy(rig.sim, rate=1.0,
@@ -240,3 +273,70 @@ def test_direction_stats():
     rig.sim.run()
     assert rig.mbox.stats[CLIENT_TO_SERVER].forwarded == 1
     assert rig.mbox.stats[SERVER_TO_CLIENT].forwarded == 0
+
+
+def test_failed_middlebox_drops_everything_and_blinds_taps():
+    rig = MboxRig()
+    tap_times = []
+    rig.mbox.add_tap(lambda now, d, view, dropped: tap_times.append(now))
+    rig.send_c2s(make_app_packet(), at=0.1)
+    rig.sim.schedule_at(0.2, rig.mbox.fail)
+    rig.send_c2s(make_app_packet(), at=0.3)   # lost and unobserved
+    rig.send_c2s(make_ack_packet(), at=0.35)  # even ACKs: the box IS the path
+    rig.sim.schedule_at(0.4, rig.mbox.recover)
+    rig.send_c2s(make_app_packet(), at=0.5)
+    rig.sim.run()
+    assert len(rig.server_arrivals) == 2
+    stats = rig.mbox.stats[CLIENT_TO_SERVER]
+    assert stats.forwarded == 2
+    assert stats.dropped == 2
+    assert stats.dropped_failed == 2
+    assert tap_times == pytest.approx([0.1, 0.5], abs=1e-6)
+
+
+def test_fail_and_recover_are_idempotent():
+    rig = MboxRig()
+    policy = rig.mbox.add_policy(UniformDelayPolicy(0.01))
+    rig.mbox.fail()
+    rig.mbox.fail()
+    assert rig.mbox.crashes == 1
+    assert rig.mbox.policies == ()
+    rig.mbox.recover()
+    rig.mbox.recover()
+    assert not rig.mbox.failed
+    assert rig.mbox.policies == (policy,)
+
+
+def test_drop_window_outliving_the_connection_is_bounded():
+    """A 100 % drop window that never ends: the sender's capped RTO
+    backoff bounds the retransmissions, and aborting the connection
+    inside the window cancels the timers so the event queue drains."""
+    sim = Simulator(seed=0)
+    topo = StandardTopology(sim, TopologyConfig(natural_jitter_mean_s=0.0,
+                                                natural_loss_rate=0.0))
+    client_tcp = TcpStack(sim, topo.client, TcpConfig())
+    server_tcp = TcpStack(sim, topo.server, TcpConfig())
+    server_tcp.listen(443, lambda conn: None)
+    conn = client_tcp.connect("server", 443, lambda c: None)
+    sim.run(until=0.5)
+    assert conn.established
+
+    topo.middlebox.add_policy(WindowedDropPolicy(
+        sim, rate=1.0, direction=CLIENT_TO_SERVER,
+        start_at=0.5, end_at=float("inf")))
+    record = TlsRecord(content_type=APPLICATION_DATA, payload_len=979)
+    sim.schedule_at(0.6, conn.send_record, record)
+    sim.run(until=30.0)
+
+    # Capped exponential backoff: a handful of retransmissions over
+    # 30 s -- neither a storm nor silence -- and the RTO stays clamped.
+    assert 3 <= conn.stats.retransmits_timeout <= 25
+    assert conn.rto.rto <= conn.rto.max_rto
+
+    # Abort with the window still open: the sim must drain instead of
+    # retransmitting into the black hole forever.
+    conn.abort()
+    before = conn.stats.retransmits
+    sim.run()
+    assert conn.stats.retransmits == before
+    assert conn.state == "closed"

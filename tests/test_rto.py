@@ -44,6 +44,44 @@ def test_backoff_doubles_and_caps():
     assert est.rto == pytest.approx(base * 4)  # capped
 
 
+def test_backoff_multiplies_the_sampled_base():
+    est = RtoEstimator(min_rto=0.0)
+    est.on_rtt_sample(0.1)
+    base = est.rto
+    est.on_timeout()
+    est.on_timeout()
+    assert est.rto == pytest.approx(base * 4)
+
+
+def test_repeated_timeouts_at_cap_hold_steady():
+    est = RtoEstimator(backoff_cap=4)
+    for _ in range(3):
+        est.on_timeout()
+    at_cap = est.rto
+    for _ in range(20):
+        est.on_timeout()
+    assert est.rto == at_cap == pytest.approx(4.0)
+
+
+def test_max_rto_clamps_before_the_backoff_cap():
+    # initial_rto 1.0 with cap 16 would reach 16 s; max_rto wins first.
+    est = RtoEstimator(min_rto=0.2, max_rto=2.0, backoff_cap=16)
+    est.on_timeout()
+    assert est.rto == 2.0
+    est.on_timeout()
+    assert est.rto == 2.0
+
+
+def test_min_rto_floor_applies_under_backoff():
+    # A tiny sampled base is floored first; backoff multiplies the
+    # floored value, not the raw estimate.
+    est = RtoEstimator(min_rto=0.2)
+    est.on_rtt_sample(0.001)
+    assert est.rto == 0.2
+    est.on_timeout()
+    assert est.rto == pytest.approx(0.4)
+
+
 def test_new_ack_resets_backoff():
     est = RtoEstimator(min_rto=0.2)
     base = est.rto
@@ -59,12 +97,31 @@ def test_max_rto_clamp():
     assert est.rto == 1.0
 
 
+def test_new_ack_after_deep_backoff_restores_sampled_base():
+    est = RtoEstimator(min_rto=0.0)
+    est.on_rtt_sample(0.1)
+    base = est.rto
+    for _ in range(6):
+        est.on_timeout()
+    assert est.rto > base
+    est.on_new_ack()
+    assert est.rto == pytest.approx(base)
+
+
 def test_spurious_timeout_doubles_base():
     est = RtoEstimator(min_rto=0.0)
     est.on_rtt_sample(0.1)
     before = est.rto
     est.on_spurious_timeout()
     assert est.rto == pytest.approx(before * 2)
+
+
+def test_spurious_timeout_respects_max_rto():
+    est = RtoEstimator(min_rto=0.2, max_rto=1.5)
+    est.on_spurious_timeout()   # base 1.0 doubles, clamps at 1.5
+    assert est.rto == 1.5
+    est.on_spurious_timeout()
+    assert est.rto == 1.5
 
 
 def test_negative_sample_rejected():
