@@ -82,6 +82,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("size-estimation", help="E6: Fig. 1 micro-benchmark")
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="fuzz sessions (topologies x faults x defenses) with "
+             "invariant monitors armed; minimize any failure to a "
+             "reproducer spec")
+    chaos.add_argument("--seeds", type=int, default=25,
+                       help="fuzzed sessions to draw from the master seed "
+                            "(default 25)")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="master seed of the campaign (default 0)")
+    chaos.add_argument("--budget", type=int, default=200,
+                       help="max shrinker session runs per violation "
+                            "(default 200)")
+    chaos.add_argument("--plan", default=None, metavar="FILE",
+                       help="fault-plan JSON forced into every generated "
+                            "spec (replaces the random fault events)")
+    chaos.add_argument("--replay", default=None, metavar="FILE",
+                       help="re-run one reproducer spec file and exit")
+    chaos.add_argument("--no-shrink", action="store_true",
+                       help="report violations without minimizing them")
+    chaos.add_argument("--out", default="chaos-reproducers",
+                       help="directory for minimized reproducer specs "
+                            "(default ./chaos-reproducers)")
+    _add_runner(chaos)
+
     lint = sub.add_parser("lint",
                           help="determinism & layering static checks "
                                "(rules DET001-DET006)")
@@ -113,6 +138,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "lint":
         from repro.lint.cli import run_lint_command
         return run_lint_command(args)
+
+    if args.command == "chaos":
+        from repro.experiments.chaos import run_chaos_command
+        return run_chaos_command(args, **_runner_kwargs(args))
 
     if args.command == "baseline":
         from repro.experiments.baseline import run_baseline

@@ -21,6 +21,7 @@ from repro.core.predictor import SizeIdentityMap
 from repro.faults import FaultInjector, FaultPlan
 from repro.http2.client import Http2Client, Http2ClientConfig
 from repro.http2.server import Http2Server, Http2ServerConfig
+from repro.invariants import MonitorSuite
 from repro.simnet.engine import Simulator
 from repro.simnet.middlebox import CLIENT_TO_SERVER, SERVER_TO_CLIENT
 from repro.simnet.topology import StandardTopology, TopologyConfig
@@ -62,6 +63,12 @@ class SessionConfig:
     #: Fault schedule: a :class:`repro.faults.FaultPlan` or its
     #: JSON-able event list.  None disables injection.
     faults: Optional[object] = None
+    #: Arm the runtime invariant monitors
+    #: (:class:`repro.invariants.MonitorSuite`, raise mode).  Monitors
+    #: only observe, so an armed run is byte-identical to an unarmed
+    #: one; the first broken conservation law raises an
+    #: :class:`repro.invariants.InvariantViolation`.
+    monitors: bool = False
 
 
 @dataclass
@@ -85,6 +92,8 @@ class SessionResult:
     processed_events: int = 0
     #: The armed fault injector (``.applied`` logs what fired), or None.
     injector: Optional[FaultInjector] = None
+    #: The armed monitor suite, or None when ``config.monitors`` was off.
+    monitor: Optional[MonitorSuite] = None
 
     @property
     def permutation(self):
@@ -129,10 +138,19 @@ def run_session(config: SessionConfig) -> SessionResult:
     topo = StandardTopology(sim, config.topology)
     site = config.site_factory()
 
+    # Arm sim/link monitors before any endpoint exists (the client emits
+    # its SYN at construction time); endpoint monitors attach as built.
+    suite: Optional[MonitorSuite] = None
+    if config.monitors:
+        suite = MonitorSuite(mode="raise")
+        suite.attach(sim, topology=topo)
+
     server_tcp = config.server_tcp or TcpConfig(deliver_duplicates=True,
                                                 initial_ssthresh_bytes=48_000)
     server = Http2Server(sim, topo.server, site, config.server,
                          tcp_config=server_tcp)
+    if suite is not None:
+        suite.attach_server(server)
 
     attack: Optional[Http2SerializationAttack] = None
     if config.attack is not None:
@@ -151,6 +169,8 @@ def run_session(config: SessionConfig) -> SessionResult:
                          config=client_config,
                          tcp_config=config.client_tcp
                          or TcpConfig(deliver_duplicates=False))
+    if suite is not None:
+        suite.attach_client(client)
 
     plan_rng = sim.rng("plan")
     if isinstance(site, IsideWithSite):
@@ -175,6 +195,9 @@ def run_session(config: SessionConfig) -> SessionResult:
     # Grace period: let in-flight packets land so the capture is complete.
     sim.run(until=sim.now + 0.3)
 
+    if suite is not None:
+        suite.finalize()
+
     trace = topo.trace
     return SessionResult(
         config=config,
@@ -192,6 +215,7 @@ def run_session(config: SessionConfig) -> SessionResult:
         retransmissions_s2c=len(trace.retransmitted_packets(SERVER_TO_CLIENT)),
         processed_events=sim.processed_events,
         injector=injector,
+        monitor=suite,
     )
 
 

@@ -44,6 +44,12 @@ class Http2Connection:
         self._preface_sent = False
         self._settings_received = False
         self._connection_window_target = connection_window
+        #: Observation hook: ``probe(conn, direction, frame, dup)`` fires
+        #: per frame sent ("send", dup False) or dispatched ("recv").
+        #: None (the default) costs one test per frame.  Endpoint owners
+        #: (Http2Server / Http2Client) propagate their ``frame_probe``
+        #: here when a connection is created.
+        self.probe: Optional[Callable] = None
 
         # Send-side flow control (credit granted by the peer).
         self.send_window_connection = FlowControlWindow(DEFAULT_WINDOW, "conn-send")
@@ -86,6 +92,9 @@ class Http2Connection:
         self._send_record([frame])
 
     def _send_record(self, frame_list, extra_bytes: int = 0) -> None:
+        if self.probe is not None:
+            for frame in frame_list:
+                self.probe(self, "send", frame, False)
         payload_len = sum(f.wire_size for f in frame_list) + extra_bytes
         self.tls.send_application(tuple(frame_list), payload_len)
         self.frames_sent += len(frame_list)
@@ -150,6 +159,10 @@ class Http2Connection:
         elif isinstance(frame, fr.PushPromiseFrame):
             if not dup:
                 self.handle_push_promise(frame)
+        # After the handlers, so monitors observe post-update window and
+        # stream state (e.g. a WINDOW_UPDATE has already replenished).
+        if self.probe is not None:
+            self.probe(self, "recv", frame, dup)
 
     def _on_settings(self, frame: fr.SettingsFrame) -> None:
         if frame.ack:

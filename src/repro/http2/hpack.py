@@ -115,6 +115,16 @@ class HpackEncoder:
     def __init__(self, max_table_size: int = 4096):
         self._dynamic = _DynamicTable(max_table_size)
 
+    @property
+    def table_size(self) -> int:
+        """Current dynamic-table occupancy in RFC 7541 size units."""
+        return self._dynamic.size
+
+    @property
+    def max_table_size(self) -> int:
+        """Dynamic-table capacity (SETTINGS_HEADER_TABLE_SIZE)."""
+        return self._dynamic.max_size
+
     def encode(self, headers: Iterable[Tuple[str, str]]) -> Tuple[int, List[HpackToken]]:
         """Encode a header list; returns ``(block_size_bytes, tokens)``."""
         total = 0
@@ -160,6 +170,16 @@ class HpackDecoder:
 
     def __init__(self, max_table_size: int = 4096):
         self._dynamic = _DynamicTable(max_table_size)
+
+    @property
+    def table_size(self) -> int:
+        """Current dynamic-table occupancy in RFC 7541 size units."""
+        return self._dynamic.size
+
+    @property
+    def max_table_size(self) -> int:
+        """Dynamic-table capacity (SETTINGS_HEADER_TABLE_SIZE)."""
+        return self._dynamic.max_size
 
     def decode(self, tokens: Iterable[HpackToken]) -> List[Tuple[str, str]]:
         """Reconstruct the header list from tokens."""

@@ -81,6 +81,9 @@ class ServerConnection(Http2Connection):
 
     def __init__(self, server: "Http2Server", tls: TlsSession):
         super().__init__(server.sim, tls, settings=server.config.settings)
+        # Propagated before any frame moves: the TLS handshake that
+        # triggers the preface completes in later events.
+        self.probe = server.frame_probe
         self.server = server
         self.site = server.site
         self.config = server.config
@@ -184,10 +187,13 @@ class ServerConnection(Http2Connection):
         self._aborted = True
         self._shutting_down = True
         if self.tls.conn.state != "closed":
-            last = max((sid for sid in self.streams if sid % 2 == 1),
-                       default=0)
-            self.send_frame(fr.GoAwayFrame(last_stream_id=last,
-                                           error_code=int(error_code)))
+            # The GOAWAY needs an established TLS session; a connection
+            # aborted mid-handshake dies with a bare FIN.
+            if self.tls.established:
+                last = max((sid for sid in self.streams if sid % 2 == 1),
+                           default=0)
+                self.send_frame(fr.GoAwayFrame(last_stream_id=last,
+                                               error_code=int(error_code)))
             self.tls.conn.close()
 
     # -- workers -----------------------------------------------------------------
@@ -406,6 +412,9 @@ class Http2Server:
         self.site = site
         self.config = config or Http2ServerConfig()
         self.hpack = HpackEncoder()
+        #: Frame observation hook handed to every accepted connection
+        #: (see :attr:`repro.http2.connection.Http2Connection.probe`).
+        self.frame_probe: Optional[Callable] = None
         self.connections: List[ServerConnection] = []
         #: While True the mux pump transmits nothing (a wedged worker
         #: pool / GC pause / overloaded host); workers keep generating.

@@ -1,0 +1,121 @@
+"""Structured taxonomy for runtime invariant violations.
+
+A :class:`Violation` is a frozen record of one broken conservation law:
+a stable machine-readable ``code``, the simulated time and place it was
+detected, and a bounded snapshot of the events that led up to it.  The
+exception classes wrap a violation per domain so harnesses can catch
+broadly (:class:`InvariantViolation`) or narrowly (e.g.
+:class:`Http2Violation`).  Everything here is passive data -- detection
+lives in :mod:`repro.invariants.monitors`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected invariant breach, safe to serialize in run metrics."""
+
+    #: Stable identifier, e.g. ``LINK_CONSERVATION`` (see docs/INVARIANTS.md).
+    code: str
+    #: Which monitor domain tripped: clock / link / tcp / http2 / hpack.
+    domain: str
+    #: Simulated time of detection (seconds).
+    at_s: float
+    #: Where in the topology/stack, e.g. ``link client->mbox`` or
+    #: ``h2 server#0``.
+    where: str
+    #: Human-readable statement of the broken law, with the numbers.
+    message: str
+    #: Bounded trail of recent observed events, oldest first.
+    recent: Tuple[str, ...] = ()
+
+    def oneline(self) -> str:
+        """Compact single-line rendering for logs and CLI output."""
+        return f"[{self.code}] t={self.at_s:.6f}s {self.where}: {self.message}"
+
+    def to_jsonable(self) -> dict:
+        """Plain-dict form for ``RunResult`` metrics and reproducer files."""
+        return {
+            "code": self.code,
+            "domain": self.domain,
+            "at_s": self.at_s,
+            "where": self.where,
+            "message": self.message,
+            "recent": list(self.recent),
+        }
+
+
+class InvariantViolation(AssertionError):
+    """Base class for every monitor-raised violation.
+
+    Subclasses :class:`AssertionError` so harnesses that know nothing of
+    monitors still treat a breach as a failed assertion, not a crash of
+    the harness itself.
+    """
+
+    def __init__(self, violation: Violation):
+        self.violation = violation
+        detail = violation.oneline()
+        if violation.recent:
+            detail += "\n  recent events:\n    " + "\n    ".join(violation.recent)
+        super().__init__(detail)
+
+
+class ClockViolation(InvariantViolation):
+    """Simulation clock moved backwards."""
+
+
+class LinkViolation(InvariantViolation):
+    """Link byte conservation, queue bounds or FIFO order broken."""
+
+
+class TcpViolation(InvariantViolation):
+    """TCP sequence-space or state-machine law broken."""
+
+
+class Http2Violation(InvariantViolation):
+    """HTTP/2 flow-control or stream-legality law broken."""
+
+
+class HpackViolation(InvariantViolation):
+    """HPACK dynamic-table size bounds broken."""
+
+
+#: Domain -> exception class used by :func:`make_error`.
+DOMAIN_ERRORS = {
+    "clock": ClockViolation,
+    "link": LinkViolation,
+    "tcp": TcpViolation,
+    "http2": Http2Violation,
+    "hpack": HpackViolation,
+}
+
+
+def make_error(violation: Violation) -> InvariantViolation:
+    """Wrap a violation in its domain-specific exception class."""
+    error_class = DOMAIN_ERRORS.get(violation.domain, InvariantViolation)
+    return error_class(violation)
+
+
+class EventRing:
+    """Bounded ring buffer of recent ``(sim_time, description)`` events.
+
+    Attached violations carry a snapshot of this ring so a raised error
+    shows what the simulation was doing just before the breach, without
+    unbounded memory growth on long runs.
+    """
+
+    def __init__(self, capacity: int = 48):
+        self._events: deque = deque(maxlen=capacity)
+
+    def record(self, at_s: float, what: str) -> None:
+        self._events.append((at_s, what))
+
+    def snapshot(self) -> Tuple[str, ...]:
+        """Render the ring oldest-first for embedding in a violation."""
+        return tuple(f"t={t:.6f}s {what}" for t, what in self._events)

@@ -36,6 +36,7 @@ PACKAGE_LAYERS = (
     ("repro.analysis", "analysis"),
     ("repro.defenses", "analysis"),
     ("repro.faults", "analysis"),
+    ("repro.invariants", "analysis"),
     ("repro.experiments", "experiments"),
     ("repro.lint", "interface"),
     ("repro.cli", "interface"),

@@ -72,6 +72,10 @@ class Simulator:
         self._processed = 0
         self._live = 0
         self.streams = RandomStreams(seed)
+        #: Observation hook: ``probe(when, callback)`` fires before each
+        #: executed event.  None (the default) costs one ``is not None``
+        #: test per event; monitors must only observe, never schedule.
+        self.probe: Optional[Callable[[float, Callable[..., Any]], None]] = None
 
     @property
     def now(self) -> float:
@@ -130,11 +134,20 @@ class Simulator:
                 self._live -= 1
                 self._now = head.when
                 callback, args = head.callback, head.args
+                if self.probe is not None:
+                    self.probe(head.when, callback)
                 callback(*args)
                 self._processed += 1
                 executed += 1
+            # Advance the idle clock to ``until`` only when no pending
+            # event precedes it: a ``max_events`` break can leave earlier
+            # events queued, and jumping past them would run them with a
+            # backwards-moving clock on the next call.
             if until is not None and self._now < until:
-                self._now = until
+                while self._queue and self._queue[0].cancelled:
+                    heapq.heappop(self._queue)
+                if not self._queue or self._queue[0].when >= until:
+                    self._now = until
             return self._now
         finally:
             self._running = False

@@ -68,6 +68,15 @@ class Link:
         self._up = True
         self._down_count = 0
         self._rng = sim.rng(f"link:{name}")
+        #: Packets accepted but not yet serialized: id(packet) -> the
+        #: (packet, depart_handle, arrive_handle) triple, so ``set_down``
+        #: can drop them (their bits never reached the wire).
+        self._queued: dict = {}
+        #: Observation hook: ``probe(event, packet)`` with event one of
+        #: accept/depart/arrive/drop_loss/drop_queue/drop_down/down/up.
+        #: None (the default) costs one ``is not None`` test per packet
+        #: event; monitors must only observe.
+        self.probe: Optional[Callable[[str, Optional[Packet]], None]] = None
 
     def attach(self, receiver: Callable[[Packet], None]) -> None:
         """Set the callable invoked with each delivered packet."""
@@ -87,14 +96,31 @@ class Link:
 
     def set_down(self) -> None:
         """Take the link down.  Packets already serialized or in flight
-        still arrive (the bits are on the wire); packets offered while
-        down are dropped.  Idempotent."""
-        if self._up:
-            self._up = False
-            self._down_count += 1
+        still arrive (the bits are on the wire); packets still queued
+        behind the transmitter are dropped with them -- their bits never
+        reached the wire -- and packets offered while down are dropped.
+        Idempotent."""
+        if not self._up:
+            return
+        self._up = False
+        self._down_count += 1
+        queued, self._queued = self._queued, {}
+        for packet, depart_handle, arrive_handle in queued.values():
+            depart_handle.cancel()
+            arrive_handle.cancel()
+            self._queued_bytes -= packet.size
+            self.stats.dropped_down += 1
+            if self.probe is not None:
+                self.probe("drop_down", packet)
+        # The transmitter stops mid-queue; nothing occupies it any more.
+        self._busy_until = self.sim.now
+        if self.probe is not None:
+            self.probe("down", None)
 
     def set_up(self) -> None:
         """Bring the link back up.  Idempotent."""
+        if not self._up and self.probe is not None:
+            self.probe("up", None)
         self._up = True
 
     def send(self, packet: Packet) -> bool:
@@ -108,12 +134,18 @@ class Link:
         self.stats.sent += 1
         if not self._up:
             self.stats.dropped_down += 1
+            if self.probe is not None:
+                self.probe("drop_down", packet)
             return False
         if self.config.loss_rate > 0 and self._rng.random() < self.config.loss_rate:
             self.stats.dropped_loss += 1
+            if self.probe is not None:
+                self.probe("drop_loss", packet)
             return False
         if self._queued_bytes + packet.size > self.config.buffer_bytes:
             self.stats.dropped_queue += 1
+            if self.probe is not None:
+                self.probe("drop_queue", packet)
             return False
 
         now = self.sim.now
@@ -128,8 +160,11 @@ class Link:
         if not self.config.allow_reorder:
             arrival = max(arrival, self._last_arrival)
         self._last_arrival = arrival
-        self.sim.schedule_at(depart, self._on_depart, packet)
-        self.sim.schedule_at(arrival, self._on_arrive, packet)
+        depart_handle = self.sim.schedule_at(depart, self._on_depart, packet)
+        arrive_handle = self.sim.schedule_at(arrival, self._on_arrive, packet)
+        self._queued[id(packet)] = (packet, depart_handle, arrive_handle)
+        if self.probe is not None:
+            self.probe("accept", packet)
         return True
 
     def queue_depth_bytes(self) -> int:
@@ -137,11 +172,16 @@ class Link:
         return self._queued_bytes
 
     def _on_depart(self, packet: Packet) -> None:
+        self._queued.pop(id(packet), None)
         self._queued_bytes -= packet.size
+        if self.probe is not None:
+            self.probe("depart", packet)
 
     def _on_arrive(self, packet: Packet) -> None:
         self.stats.delivered += 1
         self.stats.bytes_delivered += packet.size
+        if self.probe is not None:
+            self.probe("arrive", packet)
         self._receiver(packet)
 
 

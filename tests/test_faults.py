@@ -165,6 +165,63 @@ def test_server_abort_without_reconnects_breaks_the_load():
     assert result.broken
 
 
+def test_max_reconnects_exhaustion_breaks_the_load():
+    """More aborts than the reconnect budget: the browser spends every
+    allowed reconnect, then the next abort is fatal."""
+    plan = FaultPlan((
+        FaultEvent("server_abort", at_s=0.4),
+        FaultEvent("server_abort", at_s=0.9),
+        FaultEvent("server_abort", at_s=1.4),
+        FaultEvent("server_abort", at_s=1.9),
+    ))
+    result = run_session(_faulted_config(seed=5, plan=plan,
+                                         max_reconnects=2))
+    assert result.broken
+    assert result.load is not None
+    assert result.load.reconnects == 2  # the budget was fully spent
+
+
+def test_reconnect_budget_above_abort_count_recovers():
+    plan = FaultPlan((
+        FaultEvent("server_abort", at_s=0.4),
+        FaultEvent("server_abort", at_s=1.0),
+    ))
+    result = run_session(_faulted_config(seed=5, plan=plan,
+                                         max_reconnects=5))
+    assert not result.broken
+    assert result.load.reconnects >= 2
+
+
+def test_server_abort_during_tls_handshake_sends_no_goaway():
+    """Regression: an abort landing while a (re)connection's TLS
+    handshake was still in flight used to crash the simulation trying
+    to send the best-effort GOAWAY on an unestablished session.  Such a
+    connection must die with a bare FIN instead."""
+    plan = FaultPlan((
+        FaultEvent("server_abort", at_s=0.4),
+        FaultEvent("server_abort", at_s=0.9),  # hits the reconnect handshake
+        FaultEvent("server_abort", at_s=1.4),
+        FaultEvent("server_abort", at_s=1.9),
+    ))
+    config = _faulted_config(seed=5, plan=plan, max_reconnects=2)
+    config.monitors = True
+    result = run_session(config)  # must not raise
+    assert result.injector.applied[1] == (0.9, "server_abort", "")
+    assert result.monitor.violations == []
+
+
+def test_plan_for_intensity_zero_is_an_empty_valid_plan():
+    plan = plan_for_intensity(0.0, seed=7)
+    assert len(plan) == 0
+    plan.validate()  # vacuously valid
+    assert plan.to_jsonable() == []
+    assert FaultPlan.coerce(plan.to_jsonable()) == plan
+    # An empty plan arms nothing: the session runs injector-free.
+    result = run_session(_faulted_config(seed=5, plan=plan))
+    assert result.injector is None
+    assert not result.broken
+
+
 def test_server_stall_delays_but_does_not_break_the_load():
     plan = FaultPlan((FaultEvent("server_stall", at_s=0.3,
                                  duration_s=1.0),))
