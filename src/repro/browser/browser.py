@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.http2.client import ClientStream, Http2Client
 from repro.website.sitemap import PageLoadPlan, PlannedRequest
@@ -84,7 +85,10 @@ class Browser:
         self.on_done = on_done
 
         self._needed: Set[str] = set(plan.uncached_paths())
-        self._completed: List[str] = []
+        # Insertion-ordered dict as an ordered set: completion order is
+        # part of the result (completed_paths) and membership tests run
+        # on every stream completion.
+        self._completed: Dict[str, None] = {}
         self._requests: List[RequestEvent] = []
         self._weights: Dict[str, int] = {r.path: r.weight
                                          for r in plan.all_requests()}
@@ -96,7 +100,7 @@ class Browser:
         self._body_fired = False
         self._finished = False
         self._started_at = 0.0
-        self._progress_history: List = []
+        self._progress_history: Deque[Tuple[float, int]] = deque()
         self._stall_timer = None
         self._timeout_timer = None
         self.result: Optional[PageLoadResult] = None
@@ -189,7 +193,7 @@ class Browser:
         if self._finished:
             return
         if stream.path in self._needed and stream.path not in self._completed:
-            self._completed.append(stream.path)
+            self._completed[stream.path] = None
         if stream.path == self.plan.html.path and not self._scripted_fired:
             self._scripted_fired = True
             self.sim.schedule(self.plan.exec_delay_s, self._fire_scripted)
@@ -223,7 +227,7 @@ class Browser:
         self._progress_history.append((now, total_bytes))
         cutoff = now - self.config.stall_timeout_s
         while len(self._progress_history) > 1 and self._progress_history[1][0] <= cutoff:
-            self._progress_history.pop(0)
+            self._progress_history.popleft()
 
         pending = self.client.pending_streams()
         if not pending:
@@ -275,7 +279,7 @@ class Browser:
             return
         # The dead connection's silence must not count against the
         # fresh one's stall window.
-        self._progress_history = []
+        self._progress_history = deque()
         self._rerequest_missing()
 
     def _rerequest_missing(self) -> None:
@@ -296,19 +300,18 @@ class Browser:
 
     def _ordered_needed(self) -> List[str]:
         """Missing-object re-request order: document, scripted, the rest."""
-        order: List[str] = []
+        order: Dict[str, None] = {}
         if self.plan.html.path in self._needed:
-            order.append(self.plan.html.path)
+            order[self.plan.html.path] = None
         for request in self.plan.scripted:
             if not request.cached:
-                order.append(request.path)
+                order[request.path] = None
         # Sorted: set iteration order depends on string hash
         # randomization, which would make re-request order (and thus
         # the whole run) vary across interpreter invocations.
         for path in sorted(self._needed):
-            if path not in order:
-                order.append(path)
-        return order
+            order.setdefault(path, None)
+        return list(order)
 
     def _has_pending_stream(self, path: str) -> bool:
         return any(s.path == path for s in self.client.pending_streams())

@@ -108,8 +108,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_runner(chaos)
 
     lint = sub.add_parser("lint",
-                          help="determinism & layering static checks "
-                               "(rules DET001-DET006)")
+                          help="whole-program static checks (rule "
+                               "families DET/SIM/CACHE/PROTO/PERF, "
+                               "--fix for mechanical repairs)")
     from repro.lint.cli import add_lint_arguments
     add_lint_arguments(lint)
 

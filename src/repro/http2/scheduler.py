@@ -58,20 +58,22 @@ class FifoScheduler(MuxScheduler):
     name = "fifo"
 
     def __init__(self):
-        self._order: List[int] = []
+        # Insertion-ordered dict as an ordered set: arrival order is the
+        # service order, and pick() runs once per transmitted frame.
+        self._order: Dict[int, None] = {}
 
     def pick(self, eligible: List[int]) -> int:
+        eligible_set = frozenset(eligible)
         for sid in eligible:
             if sid not in self._order:
-                self._order.append(sid)
+                self._order[sid] = None
         for sid in self._order:
-            if sid in eligible:
+            if sid in eligible_set:
                 return sid
         return eligible[0]
 
     def on_stream_done(self, stream_id: int) -> None:
-        if stream_id in self._order:
-            self._order.remove(stream_id)
+        self._order.pop(stream_id, None)
 
 
 class WeightedScheduler(MuxScheduler):

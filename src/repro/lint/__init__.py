@@ -1,35 +1,50 @@
-"""AST-based determinism & layering linter for the repro package.
+"""Whole-program static analyzer for the repro package.
 
 The simulator's reproducibility contract (docs/ARCHITECTURE.md) is only
 worth something if it is enforced; ``repro.lint`` turns its clauses into
-machine-checked rules:
+machine-checked rules.  A run parses every file, builds a project-wide
+symbol table / call graph (:mod:`repro.lint.project`), and dispatches
+five rule families:
 
-=======  ==============================================================
-DET001   set/frozenset iteration feeding an order-sensitive consumer
-DET002   wall-clock reads outside the runner-telemetry/CLI allowlist
-DET003   global ``random.*`` / ``numpy.random.*`` state
-DET004   layering violations against the ARCHITECTURE.md layer map
-DET005   mutable class-/module-level state and mutable default args
-DET006   ``==``/``!=`` on simulated-time floats
-=======  ==============================================================
+=========  ============================================================
+DET001-6   determinism: set-iteration order (now interprocedural, with
+           escape paths), wall-clock reads, global random state,
+           layering, shared mutable state, sim-time float equality
+SIM001-2   simulation contracts: scheduling into the simulated past
+           (law CLOCK_BACKWARD), unguarded probe/frame_probe hook calls
+CACHE001-2 cache purity: ambient env/filesystem/cwd reads and mutable
+           module-global use reachable from RunSpec cell functions
+PROTO001-2 static counterparts of runtime protocol laws: window
+           consume() domination (H2_WINDOW_NEGATIVE), frame emission
+           after reset/CLOSED (H2_DATA_ON_RESET_STREAM)
+PERF001-2  accidentally quadratic patterns (list.pop(0), linear 'in'
+           on lists) inside event-loop-reachable hot paths
+=========  ============================================================
 
-Silence a finding with a trailing ``# repro-lint: ignore[DETnnn]``
-comment; unused suppressions are themselves reported (SUP001).  Run as
-``repro lint [paths]`` or ``python -m repro.lint``; see docs/LINTING.md
-for the full catalogue.
+Silence a finding with a trailing ``# repro-lint: ignore[CODE]``
+comment; unused suppressions are reported per code (SUP001) and unknown
+codes in suppressions are flagged (SUP002).  Mechanical fixes:
+``repro lint --fix``; gradual adoption: ``--baseline`` /
+``--write-baseline``.  Run as ``repro lint [paths]`` or
+``python -m repro.lint``; see docs/LINTING.md for the full catalogue.
 """
 
-from repro.lint.engine import (ALL_CODES, UNUSED_CODE, lint_paths,
-                               lint_source, module_name_for, resolve_codes)
+from repro.lint.engine import (ALL_CODES, KNOWN_CODES, UNKNOWN_CODE,
+                               UNUSED_CODE, build_project, lint_paths,
+                               lint_source, module_name_for,
+                               resolve_codes)
 from repro.lint.findings import Finding, LintReport
 from repro.lint.rules import RULES
 
 __all__ = [
     "ALL_CODES",
     "Finding",
+    "KNOWN_CODES",
     "LintReport",
     "RULES",
+    "UNKNOWN_CODE",
     "UNUSED_CODE",
+    "build_project",
     "lint_paths",
     "lint_source",
     "module_name_for",

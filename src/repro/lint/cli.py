@@ -1,7 +1,8 @@
 """Command line for the linter: ``repro lint`` / ``python -m repro.lint``.
 
 Exit status: 0 when the tree is clean, 1 when any finding (including an
-unused suppression) survives, 2 on usage errors.
+unused suppression) survives, 2 on usage errors (unknown rule codes,
+unreadable baseline).
 """
 
 from __future__ import annotations
@@ -12,7 +13,8 @@ import os
 import sys
 from typing import List, Optional
 
-from repro.lint.engine import ALL_CODES, lint_paths
+from repro.lint.engine import ALL_CODES, lint_paths, source_line
+from repro.lint.rules import RULES
 
 
 def _csv(value: str) -> List[str]:
@@ -41,6 +43,31 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
                         help="comma-separated rule codes to skip")
     parser.add_argument("--self-check", action="store_true",
                         help="lint the repro package's own source tree")
+    parser.add_argument("--fix", action="store_true",
+                        help="apply mechanical fixes (DET001 sorted() "
+                             "wrap, SIM002 probe guard) before "
+                             "reporting what remains")
+    parser.add_argument("--baseline", metavar="FILE", default=None,
+                        help="drop findings recorded in this baseline "
+                             "file (see docs/LINTING.md)")
+    parser.add_argument("--write-baseline", metavar="FILE", default=None,
+                        help="write surviving findings to FILE as a new "
+                             "baseline and exit 0")
+    parser.add_argument("--stats", action="store_true",
+                        help="print a per-rule summary table after the "
+                             "findings")
+
+
+def _print_stats(report) -> None:
+    counts = report.by_code()
+    print("per-rule summary:")
+    for code in sorted(counts):
+        description = RULES.get(code, "(engine diagnostic)")
+        print(f"  {code:<9} {counts[code]:>4}  {description.split(';')[0]}")
+    if not counts:
+        print("  (no findings)")
+    print(f"  baselined: {report.baselined}, "
+          f"stale baseline entries: {report.stale_baseline}")
 
 
 def run_lint_command(args: argparse.Namespace) -> int:
@@ -49,10 +76,31 @@ def run_lint_command(args: argparse.Namespace) -> int:
     if args.self_check or not paths:
         paths = [package_root()]
     try:
-        report = lint_paths(paths, select=args.select, ignore=args.ignore)
-    except ValueError as exc:
+        if getattr(args, "fix", False):
+            from repro.lint.autofix import fix_paths
+            fixed = fix_paths(paths, select=args.select,
+                              ignore=args.ignore)
+            for path, count in sorted(fixed.items()):
+                print(f"fixed {count} finding"
+                      f"{'' if count == 1 else 's'} in {path}",
+                      file=sys.stderr)
+        report = lint_paths(paths, select=args.select, ignore=args.ignore,
+                            baseline_path=getattr(args, "baseline", None))
+    except (ValueError, OSError) as exc:
         print(f"repro lint: {exc}", file=sys.stderr)
         return 2
+
+    write_to = getattr(args, "write_baseline", None)
+    if write_to:
+        from repro.lint.baseline import write_baseline
+        cache = {}
+        entries = write_baseline(write_to, report.findings,
+                                 lambda f: source_line(cache, f))
+        print(f"wrote {entries} baseline entr"
+              f"{'y' if entries == 1 else 'ies'} "
+              f"({len(report.findings)} findings) to {write_to}",
+              file=sys.stderr)
+        return 0
 
     if args.format == "json":
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
@@ -64,16 +112,23 @@ def run_lint_command(args: argparse.Namespace) -> int:
         summary = (f"{len(report.findings)} finding"
                    f"{'' if len(report.findings) == 1 else 's'}"
                    f" ({report.files_checked} files checked")
+        if report.baselined:
+            summary += f", {report.baselined} baselined"
+        if report.stale_baseline:
+            summary += f", {report.stale_baseline} stale baseline entries"
         summary += f"; {counts})" if counts else ")"
         print(summary)
+    if getattr(args, "stats", False) and args.format != "json":
+        _print_stats(report)
     return 0 if report.ok else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.lint",
-        description="AST-based determinism & layering linter for the "
-                    "repro package (rules DET001-DET006; see "
+        description="Whole-program determinism, caching, protocol and "
+                    "performance linter for the repro package (rule "
+                    "families DET/SIM/CACHE/PROTO/PERF; see "
                     "docs/LINTING.md)")
     add_lint_arguments(parser)
     return run_lint_command(parser.parse_args(argv))

@@ -1,16 +1,40 @@
-"""File discovery, module-name resolution, and rule dispatch."""
+"""File discovery, whole-program model construction, and rule dispatch.
+
+A lint run parses every discovered file once, builds the
+:class:`repro.lint.project.Project` (symbol table, call graph,
+reachability closures) over all of them, then dispatches the per-module
+rules with that project in hand so the interprocedural rules (DET001
+through helpers, CACHE/PERF reachability, PROTO001 caller chains) see
+across file boundaries.
+
+Files that are not valid UTF-8, or carry a UTF-8 BOM, produce a
+structured ``E902`` finding instead of a traceback; syntax errors
+produce ``E999``.  Both keep the exit status nonzero without aborting
+the run.
+"""
 
 from __future__ import annotations
 
 import ast
+import codecs
 import os
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.lint.baseline import Baseline
+from repro.lint.families import check_module_all, check_window_paths
 from repro.lint.findings import Finding, LintReport
-from repro.lint.rules import RULES, ModuleContext, check_module
-from repro.lint.suppressions import UNUSED_CODE, apply_suppressions
+from repro.lint.project import ModuleInfo, Project, collect_aliases
+from repro.lint.rules import RULES, ModuleContext
+from repro.lint.suppressions import (UNKNOWN_CODE, UNUSED_CODE,
+                                     apply_suppressions)
 
 ALL_CODES = tuple(sorted(RULES))
+
+#: Codes the engine emits itself (not selectable rules, but legal in
+#: suppression comments).
+SPECIAL_CODES = ("E902", "E999", UNUSED_CODE, UNKNOWN_CODE)
+
+KNOWN_CODES = frozenset(ALL_CODES) | frozenset(SPECIAL_CODES)
 
 
 def resolve_codes(select: Optional[Sequence[str]] = None,
@@ -63,11 +87,70 @@ def discover_files(paths: Iterable[str]) -> List[str]:
     return sorted(dict.fromkeys(files))
 
 
+def _decode(raw: bytes, rel: str) -> Tuple[Optional[str], List[Finding]]:
+    """Decode file bytes, reporting BOM / non-UTF-8 as E902 findings."""
+    findings: List[Finding] = []
+    if raw.startswith(codecs.BOM_UTF8):
+        findings.append(Finding(
+            path=rel, line=1, col=0, code="E902",
+            message="file starts with a UTF-8 BOM; save without a BOM "
+                    "(the rest of the file was still linted)"))
+        raw = raw[len(codecs.BOM_UTF8):]
+    try:
+        return raw.decode("utf-8"), findings
+    except UnicodeDecodeError as exc:
+        findings.append(Finding(
+            path=rel, line=1, col=0, code="E902",
+            message=f"file is not valid UTF-8 ({exc.reason} at byte "
+                    f"{exc.start}); file skipped"))
+        return None, findings
+
+
+def _parse_files(files: Sequence[str]):
+    """(contexts, io/syntax findings) for every discovered file."""
+    contexts: List[ModuleContext] = []
+    findings: List[Finding] = []
+    for file_path in files:
+        rel = os.path.relpath(file_path)
+        with open(file_path, "rb") as handle:
+            raw = handle.read()
+        source, file_findings = _decode(raw, rel)
+        findings.extend(file_findings)
+        if source is None:
+            continue
+        try:
+            tree = ast.parse(source, filename=rel)
+        except SyntaxError as exc:
+            findings.append(Finding(
+                path=rel, line=exc.lineno or 1, col=(exc.offset or 1) - 1,
+                code="E999", message=f"syntax error: {exc.msg}"))
+            continue
+        module = module_name_for(file_path)
+        contexts.append(ModuleContext(
+            path=rel, module=module,
+            package=_package_of(module, file_path),
+            tree=tree, source=source))
+    return contexts, findings
+
+
+def build_project(contexts: Sequence[ModuleContext]) -> Project:
+    """The whole-program model over every successfully parsed module."""
+    return Project([
+        ModuleInfo(module=ctx.module, path=ctx.path, tree=ctx.tree,
+                   aliases=collect_aliases(ctx.tree))
+        for ctx in contexts])
+
+
 def lint_source(source: str, module_name: str, path: str = "<string>",
                 select: Optional[Sequence[str]] = None,
                 ignore: Optional[Sequence[str]] = None,
                 package: Optional[str] = None) -> List[Finding]:
-    """Lint one source string (the unit the fixture tests drive)."""
+    """Lint one source string (the unit the fixture tests drive).
+
+    The module is its own single-file project, so the interprocedural
+    rules work within it (helpers, schedule seeds, cell specs naming
+    this module).
+    """
     enabled = resolve_codes(select, ignore)
     try:
         tree = ast.parse(source, filename=path)
@@ -79,32 +162,70 @@ def lint_source(source: str, module_name: str, path: str = "<string>",
         package = module_name.rpartition(".")[0]
     ctx = ModuleContext(path=path, module=module_name, package=package,
                         tree=tree, source=source)
-    findings = check_module(ctx, set(enabled))
-    kept, _ = apply_suppressions(findings, source, path, enabled)
+    project = build_project([ctx])
+    findings = check_module_all(ctx, set(enabled), project)
+    findings.extend(check_window_paths(project, set(enabled)))
+    kept, _ = apply_suppressions(findings, source, path, enabled,
+                                 known_codes=KNOWN_CODES)
     kept.sort(key=lambda f: f.sort_key())
     return kept
 
 
 def lint_paths(paths: Sequence[str],
                select: Optional[Sequence[str]] = None,
-               ignore: Optional[Sequence[str]] = None) -> LintReport:
+               ignore: Optional[Sequence[str]] = None,
+               baseline_path: Optional[str] = None) -> LintReport:
     """Lint files and directories; the CLI's workhorse."""
     enabled = resolve_codes(select, ignore)
     files = discover_files(paths)
-    findings: List[Finding] = []
-    for file_path in files:
-        with open(file_path, "r", encoding="utf-8") as handle:
-            source = handle.read()
-        module = module_name_for(file_path)
-        rel = os.path.relpath(file_path)
-        file_findings = lint_source(
-            source, module, path=rel,
-            select=sorted(enabled), ignore=None,
-            package=_package_of(module, file_path))
-        findings.extend(file_findings)
+    contexts, findings = _parse_files(files)
+    project = build_project(contexts)
+    per_file: Dict[str, List[Finding]] = {
+        ctx.path: check_module_all(ctx, set(enabled), project)
+        for ctx in contexts}
+    for finding in check_window_paths(project, set(enabled)):
+        per_file.setdefault(finding.path, []).append(finding)
+    sources = {ctx.path: ctx.source for ctx in contexts}
+    for ctx in contexts:
+        kept, _ = apply_suppressions(per_file[ctx.path], ctx.source,
+                                     ctx.path, enabled,
+                                     known_codes=KNOWN_CODES)
+        findings.extend(kept)
+    baselined = stale = 0
+    if baseline_path is not None:
+        baseline = Baseline.load(baseline_path)
+        surviving: List[Finding] = []
+        for finding in findings:
+            if baseline.absorb(finding,
+                               source_line(sources, finding)):
+                baselined += 1
+            else:
+                surviving.append(finding)
+        stale = baseline.stale_count()
+        findings = surviving
     findings.sort(key=lambda f: f.sort_key())
-    return LintReport(findings=findings, files_checked=len(files))
+    return LintReport(findings=findings, files_checked=len(files),
+                      baselined=baselined, stale_baseline=stale)
 
 
-__all__ = ["ALL_CODES", "UNUSED_CODE", "discover_files", "lint_paths",
-           "lint_source", "module_name_for", "resolve_codes"]
+def source_line(sources: Dict[str, str], finding: Finding) -> str:
+    """The source line a finding points at ('' when unknown)."""
+    source = sources.get(finding.path)
+    if source is None:
+        try:
+            with open(finding.path, "rb") as handle:
+                decoded, _ = _decode(handle.read(), finding.path)
+            source = decoded or ""
+        except OSError:
+            source = ""
+        sources[finding.path] = source
+    lines = source.splitlines()
+    if 1 <= finding.line <= len(lines):
+        return lines[finding.line - 1]
+    return ""
+
+
+__all__ = ["ALL_CODES", "KNOWN_CODES", "SPECIAL_CODES", "UNUSED_CODE",
+           "UNKNOWN_CODE", "build_project", "discover_files",
+           "lint_paths", "lint_source", "module_name_for",
+           "resolve_codes", "source_line"]

@@ -6,13 +6,21 @@ no third-party dependencies -- and favour precision over recall: a rule
 fires when the pattern is structurally recognizable, and every firing
 is expected to be either fixed or suppressed with a justification
 comment (see docs/LINTING.md).
+
+The DET rules are intraprocedural except where the whole-program
+:class:`repro.lint.project.Project` is supplied: then DET001 also
+recognizes calls to set-returning helpers anywhere in the project, and
+the finding carries the escape path (file:line hops) from the set's
+origin to the order-sensitive consumer.  The SIM/CACHE/PROTO/PERF
+families (registered here so ``--select``/``--ignore`` know them) live
+in :mod:`repro.lint.families`.
 """
 
 from __future__ import annotations
 
 import ast
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.lint.findings import Finding
 from repro.lint.layers import layer_of, resolve_relative
@@ -32,6 +40,27 @@ RULES = {
               "across instances or runs) or mutable default argument",
     "DET006": "==/!= comparison of simulated-time floats (use ordering "
               "or an explicit tolerance)",
+    "SIM001": "scheduling into the simulated past: negative delay to "
+              "schedule(), or schedule_at(now - x) (the engine raises "
+              "CLOCK_BACKWARD at runtime; see docs/INVARIANTS.md)",
+    "SIM002": "probe/frame_probe hook invoked without the 'is not None' "
+              "guard the zero-overhead contract requires",
+    "CACHE001": "environment/filesystem/cwd read reachable from a "
+                "RunSpec cell function: breaks the content-addressed "
+                "result cache (inputs outside the spec hash)",
+    "CACHE002": "mutable module-global captured or mutated in code "
+                "reachable from a RunSpec cell function: state leaks "
+                "across runs within a worker process",
+    "PROTO001": "flow-control window consumed on a path not dominated "
+                "by a can_send()/can_send_data() check (static "
+                "counterpart of law H2_WINDOW_NEGATIVE)",
+    "PROTO002": "DATA/HEADERS frame emission reachable after a "
+                "reset/CLOSED state transition on the same stream "
+                "(static counterpart of law H2_DATA_ON_RESET_STREAM)",
+    "PERF001": "list.pop(0) inside an event-loop-reachable hot path "
+               "(O(n) per event; use collections.deque.popleft())",
+    "PERF002": "linear 'in' membership test on a list inside an "
+               "event-loop-reachable hot path (use a set or dict keys)",
 }
 
 #: Modules allowed to read the wall clock: runner telemetry and the CLI.
@@ -136,6 +165,20 @@ def _is_set_annotation(node: Optional[ast.AST]) -> bool:
     return False
 
 
+def _is_list_annotation(node: Optional[ast.AST]) -> bool:
+    if node is None:
+        return False
+    if isinstance(node, ast.Name):
+        return node.id == "list"
+    if isinstance(node, ast.Subscript):
+        name = _terminal_name(node.value)
+        return name in ("List", "MutableSequence", "list")
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        text = node.value.strip()
+        return text == "list" or text.startswith(("List[", "list["))
+    return False
+
+
 def _mutable_container(node: ast.AST):
     """(is_mutable, is_empty) for container displays/constructors."""
     if isinstance(node, ast.List):
@@ -152,33 +195,62 @@ def _mutable_container(node: ast.AST):
 
 
 class _Scope:
-    """One lexical scope with its inferred set-typed names."""
+    """One lexical scope with its inferred set- and list-typed names."""
 
     def __init__(self, kind: str):
         self.kind = kind                 # "module" | "function" | "class"
         self.set_names: Set[str] = set()
         self.set_self_attrs: Set[str] = set()   # class scopes only
+        self.list_names: Set[str] = set()
+        self.list_self_attrs: Set[str] = set()  # class scopes only
+        #: name -> escape path for names bound to interprocedural sets.
+        self.set_origins: Dict[str, List[str]] = {}
 
 
 class DeterminismVisitor(ast.NodeVisitor):
-    """Single-pass checker for DET001/002/003/005/006."""
+    """Single-pass checker for DET001/002/003/005/006.
 
-    def __init__(self, ctx: ModuleContext, enabled: Set[str]):
+    With a whole-program ``project``, DET001 additionally treats calls
+    to set-returning helpers (anywhere in the project) as set-typed and
+    threads the provenance chain into the finding's ``trace``.
+    """
+
+    def __init__(self, ctx: ModuleContext, enabled: Set[str],
+                 project=None):
         self.ctx = ctx
         self.enabled = enabled
+        self.project = project
         self.findings: List[Finding] = []
         self.scopes: List[_Scope] = []
         self._aliases = self._collect_aliases(ctx.tree)
         self._genexp_ok: Set[int] = set()
         self._func_depth = 0
+        #: qualname stack mirroring Project's naming ("Cls.m",
+        #: "f.<locals>.inner"); empty string at module level.
+        self._qual: List[Tuple[str, str]] = []   # (qualname, kind)
+        #: id(Call node) -> provenance chain for set-returning calls.
+        self._call_traces: Dict[int, List[str]] = {}
 
     # -- plumbing -----------------------------------------------------------
 
-    def _emit(self, node: ast.AST, code: str, message: str) -> None:
+    def _emit(self, node: ast.AST, code: str, message: str,
+              trace: Tuple[str, ...] = (), law: str = "") -> None:
         if code in self.enabled:
             self.findings.append(Finding(
                 path=self.ctx.path, line=node.lineno,
-                col=node.col_offset, code=code, message=message))
+                col=node.col_offset, code=code, message=message,
+                trace=trace, law=law))
+
+    def _current_qualname(self) -> str:
+        return self._qual[-1][0] if self._qual else ""
+
+    def _child_qualname(self, name: str, child_kind: str) -> str:
+        if not self._qual:
+            return name
+        qual, kind = self._qual[-1]
+        if kind == "class":
+            return f"{qual}.{name}"
+        return f"{qual}.<locals>.{name}"
 
     @staticmethod
     def _collect_aliases(tree: ast.Module) -> Dict[str, str]:
@@ -214,6 +286,7 @@ class DeterminismVisitor(ast.NodeVisitor):
     def visit_Module(self, node: ast.Module) -> None:
         scope = _Scope("module")
         self._infer_set_bindings(node.body, scope)
+        self._infer_list_bindings(node.body, scope)
         self.scopes.append(scope)
         self._check_module_level_state(node)
         self.generic_visit(node)
@@ -221,19 +294,33 @@ class DeterminismVisitor(ast.NodeVisitor):
 
     def _visit_function(self, node) -> None:
         self._check_mutable_defaults(node)
+        self._qual.append((self._child_qualname(node.name, "function"),
+                           "function"))
         scope = _Scope("function")
         for arg in self._all_args(node.args):
             if _is_set_annotation(arg.annotation):
                 scope.set_names.add(arg.arg)
+            elif _is_list_annotation(arg.annotation):
+                scope.list_names.add(arg.arg)
         self._infer_set_bindings(node.body, scope)
+        self._infer_list_bindings(node.body, scope)
         self.scopes.append(scope)
         self._func_depth += 1
+        self._enter_function(node)
         self.generic_visit(node)
+        self._leave_function(node)
         self._func_depth -= 1
         self.scopes.pop()
+        self._qual.pop()
 
     visit_FunctionDef = _visit_function
     visit_AsyncFunctionDef = _visit_function
+
+    def _enter_function(self, node) -> None:
+        """Hook for subclasses (family rules)."""
+
+    def _leave_function(self, node) -> None:
+        """Hook for subclasses (family rules)."""
 
     def visit_Lambda(self, node: ast.Lambda) -> None:
         self._check_mutable_defaults(node)
@@ -241,11 +328,14 @@ class DeterminismVisitor(ast.NodeVisitor):
 
     def visit_ClassDef(self, node: ast.ClassDef) -> None:
         self._check_class_level_state(node)
+        self._qual.append((self._child_qualname(node.name, "class"),
+                           "class"))
         scope = _Scope("class")
         self._infer_self_attrs(node, scope)
         self.scopes.append(scope)
         self.generic_visit(node)
         self.scopes.pop()
+        self._qual.pop()
 
     @staticmethod
     def _all_args(args: ast.arguments):
@@ -265,12 +355,39 @@ class DeterminismVisitor(ast.NodeVisitor):
                     for target in stmt.targets:
                         if isinstance(target, ast.Name):
                             scope.set_names.add(target.id)
+                            self._record_origin(scope, target.id,
+                                                stmt.value, stmt.lineno)
             elif isinstance(stmt, ast.AnnAssign):
                 if isinstance(stmt.target, ast.Name) and (
                         _is_set_annotation(stmt.annotation)
                         or (stmt.value is not None
                             and self._is_set_expr(stmt.value, scope))):
                     scope.set_names.add(stmt.target.id)
+                    if stmt.value is not None:
+                        self._record_origin(scope, stmt.target.id,
+                                            stmt.value, stmt.lineno)
+
+    def _record_origin(self, scope: _Scope, name: str, value: ast.AST,
+                       lineno: int) -> None:
+        chain = self._call_traces.get(id(value))
+        if chain:
+            scope.set_origins[name] = chain + [
+                f"{self.ctx.path}:{lineno}: bound to '{name}'"]
+
+    def _infer_list_bindings(self, body, scope: _Scope) -> None:
+        """Names assigned list-typed values in this scope's body."""
+        for stmt in self._scope_nodes(body):
+            if isinstance(stmt, ast.Assign):
+                if self._is_list_expr(stmt.value, scope):
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            scope.list_names.add(target.id)
+            elif isinstance(stmt, ast.AnnAssign) \
+                    and isinstance(stmt.target, ast.Name) and (
+                        _is_list_annotation(stmt.annotation)
+                        or (stmt.value is not None
+                            and self._is_list_expr(stmt.value, scope))):
+                scope.list_names.add(stmt.target.id)
 
     @classmethod
     def _scope_nodes(cls, body):
@@ -287,19 +404,27 @@ class DeterminismVisitor(ast.NodeVisitor):
     def _infer_self_attrs(self, node: ast.ClassDef, scope: _Scope) -> None:
         for child in ast.walk(node):
             if isinstance(child, ast.Assign):
-                if self._is_set_expr(child.value, None):
-                    for target in child.targets:
-                        if (isinstance(target, ast.Attribute)
-                                and isinstance(target.value, ast.Name)
-                                and target.value.id == "self"):
+                is_set = self._is_set_expr(child.value, None)
+                is_list = self._is_list_expr(child.value, None)
+                if not (is_set or is_list):
+                    continue
+                for target in child.targets:
+                    if (isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"):
+                        if is_set:
                             scope.set_self_attrs.add(target.attr)
+                        else:
+                            scope.list_self_attrs.add(target.attr)
             elif isinstance(child, ast.AnnAssign) and child.target is not None:
                 target = child.target
                 if (isinstance(target, ast.Attribute)
                         and isinstance(target.value, ast.Name)
-                        and target.value.id == "self"
-                        and _is_set_annotation(child.annotation)):
-                    scope.set_self_attrs.add(target.attr)
+                        and target.value.id == "self"):
+                    if _is_set_annotation(child.annotation):
+                        scope.set_self_attrs.add(target.attr)
+                    elif _is_list_annotation(child.annotation):
+                        scope.list_self_attrs.add(target.attr)
 
     # -- set-type inference -------------------------------------------------
 
@@ -315,6 +440,12 @@ class DeterminismVisitor(ast.NodeVisitor):
                     and name in _SET_METHODS
                     and self._is_set_expr(node.func.value, scope)):
                 return True
+            if self.project is not None:
+                chain = self.project.set_call_chain(
+                    node, self.ctx.module, self._current_qualname())
+                if chain:
+                    self._call_traces[id(node)] = chain
+                    return True
             return False
         if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_BINOPS):
             return (self._is_set_expr(node.left, scope)
@@ -335,8 +466,43 @@ class DeterminismVisitor(ast.NodeVisitor):
             return False
         return False
 
+    def _is_list_expr(self, node: ast.AST, scope: Optional[_Scope]) -> bool:
+        if isinstance(node, (ast.List, ast.ListComp)):
+            return True
+        if isinstance(node, ast.Call):
+            name = _terminal_name(node.func)
+            return isinstance(node.func, ast.Name) and name in ("list",
+                                                                "sorted")
+        if isinstance(node, ast.Name):
+            for frame in reversed(self.scopes if scope is None
+                                  else self.scopes + [scope]):
+                if frame.kind in ("function", "module") \
+                        and node.id in frame.list_names:
+                    return True
+            return False
+        if isinstance(node, ast.Attribute) \
+                and isinstance(node.value, ast.Name) \
+                and node.value.id == "self":
+            for frame in reversed(self.scopes):
+                if frame.kind == "class":
+                    return node.attr in frame.list_self_attrs
+            return False
+        return False
+
     def _set_iter(self, node: ast.AST) -> bool:
         return self._is_set_expr(node, None)
+
+    def _trace_for(self, node: ast.AST) -> Tuple[str, ...]:
+        """Escape path for an interprocedural set, if one is known."""
+        if isinstance(node, ast.Call):
+            chain = self._call_traces.get(id(node))
+            if chain:
+                return tuple(chain)
+        if isinstance(node, ast.Name):
+            for frame in reversed(self.scopes):
+                if node.id in frame.set_origins:
+                    return tuple(frame.set_origins[node.id])
+        return ()
 
     # -- DET001 -------------------------------------------------------------
 
@@ -345,7 +511,8 @@ class DeterminismVisitor(ast.NodeVisitor):
             self._emit(node.iter, "DET001",
                        "iterating a set: order varies under hash "
                        "randomization; wrap in sorted(...) or keep an "
-                       "ordered container")
+                       "ordered container",
+                       trace=self._trace_for(node.iter))
         self.generic_visit(node)
 
     def _visit_ordered_comp(self, node) -> None:
@@ -355,7 +522,8 @@ class DeterminismVisitor(ast.NodeVisitor):
                 if self._set_iter(gen.iter):
                     self._emit(gen.iter, "DET001",
                                "comprehension iterates a set into an "
-                               "ordered result; wrap in sorted(...)")
+                               "ordered result; wrap in sorted(...)",
+                               trace=self._trace_for(gen.iter))
         self.generic_visit(node)
 
     visit_ListComp = _visit_ordered_comp
@@ -378,12 +546,14 @@ class DeterminismVisitor(ast.NodeVisitor):
             if self._set_iter(node.args[0]):
                 self._emit(node.args[0], "DET001",
                            f"{func_name}() materializes set iteration "
-                           "order; wrap in sorted(...)")
+                           "order; wrap in sorted(...)",
+                           trace=self._trace_for(node.args[0]))
         if isinstance(node.func, ast.Attribute) and func_name == "join" \
                 and node.args and self._set_iter(node.args[0]):
             self._emit(node.args[0], "DET001",
                        "str.join over a set materializes set iteration "
-                       "order; wrap in sorted(...)")
+                       "order; wrap in sorted(...)",
+                       trace=self._trace_for(node.args[0]))
 
         resolved = self._resolve(node.func)
         if resolved:
@@ -561,9 +731,10 @@ def check_layering(ctx: ModuleContext, enabled: Set[str]) -> List[Finding]:
     return findings
 
 
-def check_module(ctx: ModuleContext, enabled: Set[str]) -> List[Finding]:
-    """Run every enabled rule over one parsed module."""
-    visitor = DeterminismVisitor(ctx, enabled)
+def check_module(ctx: ModuleContext, enabled: Set[str],
+                 project=None) -> List[Finding]:
+    """Run every enabled DET rule over one parsed module."""
+    visitor = DeterminismVisitor(ctx, enabled, project=project)
     visitor.visit(ctx.tree)
     findings = visitor.findings + check_layering(ctx, enabled)
     findings.sort(key=lambda f: f.sort_key())

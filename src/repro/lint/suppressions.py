@@ -5,9 +5,13 @@ A finding on line N is silenced by a trailing comment on that line::
     for path in residue:  # repro-lint: ignore[DET001]
 
 Several codes may be listed (``ignore[DET001,DET005]``).  Every
-suppression must pull its weight: a listed code that silences nothing
-on its line is itself reported (SUP001), so stale suppressions cannot
-accumulate as the code evolves.
+suppression must pull its weight, *per code*: each listed code that
+silences nothing on its line is reported individually (SUP001), so a
+multi-code suppression where only one code ever fires still warns about
+the others, and stale suppressions cannot accumulate as the code
+evolves.  A listed code that is not a rule code at all (a typo, or a
+rule that has been removed) is reported as SUP002 -- it would otherwise
+stay silent forever, silencing nothing while looking load-bearing.
 """
 
 from __future__ import annotations
@@ -15,7 +19,7 @@ from __future__ import annotations
 import io
 import re
 import tokenize
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.lint.findings import Finding
 
@@ -24,6 +28,8 @@ _SUPPRESS_RE = re.compile(
 
 #: Code of the unused-suppression warning itself.
 UNUSED_CODE = "SUP001"
+#: Code of the unknown-rule-code-in-suppression warning.
+UNKNOWN_CODE = "SUP002"
 
 
 def parse_suppressions(source: str) -> Dict[int, List[str]]:
@@ -49,14 +55,20 @@ def parse_suppressions(source: str) -> Dict[int, List[str]]:
 
 
 def apply_suppressions(findings: List[Finding], source: str, path: str,
-                       enabled_codes) -> Tuple[List[Finding], List[Finding]]:
+                       enabled_codes,
+                       known_codes: Optional[frozenset] = None,
+                       ) -> Tuple[List[Finding], List[Finding]]:
     """Split findings into (kept, suppressed) and report unused entries.
 
     ``enabled_codes`` is the set of rule codes this run actually checks;
-    a suppression for a deselected rule is not reported as unused (the
-    rule simply did not run).  The returned *kept* list already includes
-    any SUP001 warnings.
+    a suppression for a known-but-deselected rule is not reported as
+    unused (the rule simply did not run).  ``known_codes`` is the full
+    rule catalogue: a listed code outside it is a typo and reported as
+    SUP002 regardless of selection.  The returned *kept* list already
+    includes any SUP001/SUP002 warnings, one finding per code.
     """
+    if known_codes is None:
+        known_codes = frozenset(enabled_codes)
     table = parse_suppressions(source)
     used: Dict[int, set] = {lineno: set() for lineno in table}
     kept: List[Finding] = []
@@ -69,12 +81,20 @@ def apply_suppressions(findings: List[Finding], source: str, path: str,
         else:
             kept.append(finding)
     for lineno in sorted(table):
-        unused = [code for code in table[lineno]
-                  if code not in used[lineno] and code in enabled_codes]
-        if unused:
-            kept.append(Finding(
-                path=path, line=lineno, col=0, code=UNUSED_CODE,
-                message=("unused suppression for "
-                         + ", ".join(sorted(set(unused)))
-                         + " (nothing to silence on this line)")))
+        seen = set()
+        for code in table[lineno]:
+            if code in seen or code in used[lineno]:
+                continue
+            seen.add(code)
+            if code not in known_codes:
+                kept.append(Finding(
+                    path=path, line=lineno, col=0, code=UNKNOWN_CODE,
+                    message=(f"unknown rule code {code!r} in suppression "
+                             "(typo or removed rule; it silences "
+                             "nothing)")))
+            elif code in enabled_codes:
+                kept.append(Finding(
+                    path=path, line=lineno, col=0, code=UNUSED_CODE,
+                    message=(f"unused suppression for {code} "
+                             "(nothing to silence on this line)")))
     return kept, suppressed

@@ -19,6 +19,7 @@ import repro
 from repro.lint import (
     ALL_CODES,
     RULES,
+    UNKNOWN_CODE,
     UNUSED_CODE,
     lint_paths,
     lint_source,
@@ -30,16 +31,24 @@ PACKAGE_ROOT = os.path.dirname(os.path.abspath(repro.__file__))
 REPO_SRC = os.path.dirname(PACKAGE_ROOT)
 
 
+def findings_for(source: str, module: str = "repro.simnet.fixture",
+                 **kwargs):
+    return lint_source(textwrap.dedent(source), module, **kwargs)
+
+
 def codes(source: str, module: str = "repro.simnet.fixture", **kwargs):
-    findings = lint_source(textwrap.dedent(source), module, **kwargs)
-    return [finding.code for finding in findings]
+    return [finding.code for finding in findings_for(source, module,
+                                                     **kwargs)]
 
 
 # -- rule catalogue sanity ----------------------------------------------------
 
-def test_all_six_rules_are_registered():
-    assert set(ALL_CODES) == {"DET001", "DET002", "DET003", "DET004",
-                              "DET005", "DET006"}
+def test_all_rule_families_are_registered():
+    assert set(ALL_CODES) == {
+        "DET001", "DET002", "DET003", "DET004", "DET005", "DET006",
+        "SIM001", "SIM002", "CACHE001", "CACHE002",
+        "PROTO001", "PROTO002", "PERF001", "PERF002",
+    }
     for code in ALL_CODES:
         assert RULES[code]
 
@@ -359,8 +368,11 @@ def test_lint_paths_reports_over_files(tmp_path):
     assert [f.code for f in report.findings] == ["DET002"]
     payload = report.to_dict()
     assert payload["version"] == 1
-    assert payload["summary"] == {"total": 1, "by_code": {"DET002": 1}}
+    assert payload["summary"] == {"total": 1, "by_code": {"DET002": 1},
+                                  "baselined": 0, "stale_baseline": 0}
     finding = payload["findings"][0]
+    # trace/law are omitted when empty so the schema is stable for
+    # intraprocedural findings.
     assert set(finding) == {"path", "line", "col", "code", "message"}
     assert finding["line"] == 5
 
@@ -406,3 +418,603 @@ def test_cli_exit_codes_and_json(tmp_path):
          "--select", "DET999"],
         capture_output=True, text=True, env=env)
     assert usage.returncode == 2
+
+
+# -- interprocedural DET001: sets escaping through helpers --------------------
+
+class TestInterproceduralDet001:
+    def test_bad_set_returned_by_helper_iterated_elsewhere(self):
+        # The tentpole case: the set is built in a utility and iterated
+        # order-sensitively in a different function; the per-file visitor
+        # of PR 2 could not see across the call.
+        bad = """
+            def residue(needed):
+                return set(needed)
+
+            def rerequest(needed):
+                order = []
+                for path in residue(needed):
+                    order.append(path)
+                return order
+        """
+        findings = findings_for(bad)
+        assert [f.code for f in findings] == ["DET001"]
+        assert findings[0].trace, "interprocedural finding must carry " \
+                                  "the escape path"
+        assert any("residue" in hop for hop in findings[0].trace)
+
+    def test_bad_escape_through_two_helpers_binds_a_name(self):
+        bad = """
+            def inner(xs):
+                return set(xs)
+
+            def outer(xs):
+                return inner(xs)
+
+            def consume(xs):
+                leaked = outer(xs)
+                return list(leaked)
+        """
+        findings = findings_for(bad)
+        assert [f.code for f in findings] == ["DET001"]
+        trace = "\n".join(findings[0].trace)
+        assert "outer" in trace and "inner" in trace
+
+    def test_bad_cross_module_escape_path_has_file_hops(self, tmp_path):
+        (tmp_path / "util.py").write_text(textwrap.dedent("""
+            def residue(needed):
+                return set(needed)
+        """))
+        (tmp_path / "consumer.py").write_text(textwrap.dedent("""
+            from util import residue
+
+            def rerequest(needed):
+                return [p for p in residue(needed)]
+        """))
+        report = lint_paths([str(tmp_path)])
+        assert [f.code for f in report.findings] == ["DET001"]
+        trace = "\n".join(report.findings[0].trace)
+        assert "util.py" in trace
+
+    def test_good_sorted_wrap_of_helper_call(self):
+        good = """
+            def residue(needed):
+                return set(needed)
+
+            def rerequest(needed):
+                return [p for p in sorted(residue(needed))]
+        """
+        assert codes(good) == []
+
+
+# -- SIM: simulated-past scheduling and probe guards --------------------------
+
+class TestSim001:
+    def test_bad_negative_literal_delay(self):
+        findings = findings_for("""
+            def arm(sim, cb):
+                sim.schedule(-0.5, cb)
+        """)
+        assert [f.code for f in findings] == ["SIM001"]
+        assert findings[0].law == "CLOCK_BACKWARD"
+
+    def test_bad_schedule_at_now_minus(self):
+        findings = findings_for("""
+            def arm(sim, cb):
+                sim.schedule_at(sim.now - 1.0, cb)
+        """)
+        assert [f.code for f in findings] == ["SIM001"]
+        assert findings[0].law == "CLOCK_BACKWARD"
+
+    def test_good_forward_scheduling(self):
+        good = """
+            def arm(sim, cb, delay):
+                sim.schedule(0.25, cb)
+                sim.schedule(delay, cb)
+                sim.schedule_at(sim.now + delay, cb)
+        """
+        assert codes(good) == []
+
+
+class TestSim002:
+    def test_bad_unguarded_probe_invocation(self):
+        findings = findings_for("""
+            def fire(conn, frame):
+                conn.probe(frame)
+        """)
+        assert [f.code for f in findings] == ["SIM002"]
+        assert "is not None" in findings[0].message
+
+    def test_bad_unguarded_frame_probe(self):
+        assert codes("""
+            def fire(server, frame):
+                server.frame_probe(frame)
+        """) == ["SIM002"]
+
+    def test_good_guarded_invocation(self):
+        good = """
+            def fire(conn, frames):
+                if conn.probe is not None:
+                    for frame in frames:
+                        conn.probe(frame)
+        """
+        assert codes(good) == []
+
+    def test_good_truthiness_guard(self):
+        good = """
+            def fire(conn, frame):
+                if conn.probe:
+                    conn.probe(frame)
+        """
+        assert codes(good) == []
+
+    def test_guard_does_not_leak_into_else_branch(self):
+        bad = """
+            def fire(conn, frame):
+                if conn.probe is not None:
+                    pass
+                else:
+                    conn.probe(frame)
+        """
+        assert codes(bad) == ["SIM002"]
+
+
+# -- CACHE: cell-function purity ----------------------------------------------
+
+_CELL_PREAMBLE = textwrap.dedent("""
+    from repro.experiments.runner import RunSpec
+
+    CELL = "repro.experiments.fixture:run_cell"
+    SPEC = RunSpec.make(CELL, seed=1)
+""")
+
+
+def cell_source(body: str) -> str:
+    """Preamble registering run_cell as a RunSpec cell, plus ``body``."""
+    return _CELL_PREAMBLE + textwrap.dedent(body)
+
+
+class TestCache001:
+    def test_bad_env_read_through_helper(self):
+        bad = cell_source("""
+            import os
+
+            def helper():
+                return os.getenv("HOME")
+
+            def run_cell(seed):
+                return helper()
+        """)
+        findings = findings_for(bad, module="repro.experiments.fixture")
+        assert [f.code for f in findings] == ["CACHE001"]
+        assert findings[0].trace, "cell-reachability witness expected"
+        assert any("run_cell" in hop for hop in findings[0].trace)
+
+    def test_bad_open_and_environ_subscript(self):
+        bad = cell_source("""
+            import os
+
+            def run_cell(seed):
+                with open("params.json") as fh:
+                    data = fh.read()
+                return data, os.environ["HOME"]
+        """)
+        assert codes(bad, module="repro.experiments.fixture") \
+            == ["CACHE001", "CACHE001"]
+
+    def test_good_env_read_outside_cell_reach(self):
+        good = cell_source("""
+            import os
+
+            def harness_only():
+                return os.getenv("HOME")
+
+            def run_cell(seed):
+                return seed * 2
+        """)
+        assert codes(good, module="repro.experiments.fixture") == []
+
+    def test_good_runner_module_is_allowlisted(self):
+        good = """
+            import os
+
+            CELL = "repro.experiments.runner:run_cell"
+
+            def run_cell(seed):
+                return os.getenv("REPRO_CACHE_DIR")
+        """
+        assert codes(good, module="repro.experiments.runner") == []
+
+
+class TestCache002:
+    def test_bad_global_statement_in_cell(self):
+        bad = cell_source("""
+            _counter = 0
+
+            def run_cell(seed):
+                global _counter
+                _counter += 1
+                return _counter
+        """)
+        assert codes(bad, module="repro.experiments.fixture",
+                     select=["CACHE002"]) == ["CACHE002"]
+
+    def test_bad_module_dict_mutation_in_cell(self):
+        bad = cell_source("""
+            _memo = {}
+
+            def run_cell(seed):
+                _memo[seed] = seed * 2
+                return _memo[seed]
+        """)
+        findings = findings_for(bad, module="repro.experiments.fixture",
+                                select=["CACHE002"])
+        assert [f.code for f in findings] == ["CACHE002"]
+        assert findings[0].trace
+
+    def test_good_local_state_in_cell(self):
+        good = cell_source("""
+            def run_cell(seed):
+                memo = {}
+                memo[seed] = seed * 2
+                return memo[seed]
+        """)
+        assert codes(good, module="repro.experiments.fixture",
+                     select=["CACHE002"]) == []
+
+
+# -- PROTO: static counterparts of the runtime laws ---------------------------
+
+class TestProto001:
+    def test_bad_unchecked_consume_chain(self):
+        bad = """
+            def transmit(window, nbytes):
+                window.consume(nbytes)
+
+            def entry(window, nbytes):
+                transmit(window, nbytes)
+        """
+        findings = findings_for(bad)
+        assert [f.code for f in findings] == ["PROTO001"]
+        assert findings[0].law == "H2_WINDOW_NEGATIVE"
+        assert findings[0].trace, "unchecked caller chain expected"
+
+    def test_good_check_dominates_the_chain(self):
+        good = """
+            def transmit(window, nbytes):
+                window.consume(nbytes)
+
+            def entry(window, nbytes):
+                if window.can_send(nbytes):
+                    transmit(window, nbytes)
+        """
+        assert codes(good) == []
+
+    def test_good_check_inside_the_consuming_function(self):
+        good = """
+            def transmit(window, nbytes):
+                if not window.can_send(nbytes):
+                    return
+                window.consume(nbytes)
+        """
+        assert codes(good) == []
+
+
+class TestProto002:
+    def test_bad_data_frame_after_reset_transition(self):
+        findings = findings_for("""
+            def teardown(stream, conn, frame):
+                stream.reset = True
+                conn.send_data_frame(frame)
+        """)
+        assert [f.code for f in findings] == ["PROTO002"]
+        assert findings[0].law == "H2_DATA_ON_RESET_STREAM"
+
+    def test_bad_headers_after_closed_state(self):
+        bad = """
+            def teardown(stream, conn, fr):
+                stream.state = CLOSED
+                conn.send_frame(HeadersFrame(stream_id=1, block=b""))
+        """
+        assert codes(bad) == ["PROTO002"]
+
+    def test_good_rst_stream_teardown_is_exempt(self):
+        # client.reset_stream's legal shape: flag the stream, then tell
+        # the peer with RST_STREAM.
+        good = """
+            def reset(stream, conn):
+                stream.reset = True
+                conn.send_frame(RstStreamFrame(stream_id=1, error_code=8))
+        """
+        assert codes(good) == []
+
+    def test_good_emission_before_the_transition(self):
+        # The dup-serve shape (paper Fig. 4): transmit, then let the
+        # state machine advance.
+        good = """
+            def transmit(stream, conn, frame):
+                conn.send_data_frame(frame)
+                stream.reset = True
+        """
+        assert codes(good) == []
+
+
+# -- PERF: event-loop hot paths -----------------------------------------------
+
+class TestPerf:
+    def test_bad_pop0_in_event_reachable_method(self):
+        findings = findings_for("""
+            class Loop:
+                def __init__(self, sim):
+                    self.queue = []
+                    sim.schedule(0.1, self._tick)
+
+                def _tick(self):
+                    item = self.queue.pop(0)
+                    return item
+        """)
+        assert [f.code for f in findings] == ["PERF001"]
+        assert findings[0].trace, "event-reachability witness expected"
+
+    def test_bad_linear_membership_in_event_reachable_method(self):
+        findings = findings_for("""
+            class Loop:
+                def __init__(self, sim):
+                    self.done = []
+                    sim.schedule(0.1, self._tick)
+
+                def _tick(self):
+                    return "x" in self.done
+        """)
+        assert [f.code for f in findings] == ["PERF002"]
+
+    def test_good_not_event_reachable(self):
+        good = """
+            class Offline:
+                def __init__(self):
+                    self.queue = []
+
+                def drain(self):
+                    return self.queue.pop(0)
+        """
+        assert codes(good) == []
+
+    def test_good_experiments_layer_is_exempt(self):
+        good = """
+            def tabulate(sim, rows):
+                sim.schedule(0.1, lambda: None)
+                while rows:
+                    rows.pop(0)
+        """
+        assert codes(good, module="repro.experiments.fixture") == []
+
+    def test_good_deque_popleft_and_set_membership(self):
+        good = """
+            from collections import deque
+
+            class Loop:
+                def __init__(self, sim):
+                    self.queue = deque()
+                    self.done = set()
+                    sim.schedule(0.1, self._tick)
+
+                def _tick(self):
+                    item = self.queue.popleft()
+                    return item in self.done
+        """
+        assert codes(good) == []
+
+
+# -- suppression granularity (SUP001 per code, SUP002 unknown) ----------------
+
+class TestSuppressionGranularity:
+    def test_partially_used_multi_code_suppression_warns_per_code(self):
+        source = """
+            def rerequest(needed):
+                residue = set(needed)
+                out = []
+                for path in residue:  # repro-lint: ignore[DET001,DET005]
+                    out.append(path)
+                return out
+        """
+        findings = findings_for(source)
+        assert [f.code for f in findings] == [UNUSED_CODE]
+        assert "DET005" in findings[0].message
+
+    def test_unknown_code_in_suppression_is_flagged(self):
+        source = """
+            def rerequest(needed):
+                residue = set(needed)
+                out = []
+                for path in residue:  # repro-lint: ignore[DET001,DET9X]
+                    out.append(path)
+                return out
+        """
+        findings = findings_for(source)
+        assert [f.code for f in findings] == [UNKNOWN_CODE]
+        assert "DET9X" in findings[0].message
+
+    def test_fully_unused_multi_code_suppression_warns_for_each(self):
+        findings = findings_for(
+            "x = 1  # repro-lint: ignore[DET002,DET003]\n")
+        assert [f.code for f in findings] == [UNUSED_CODE, UNUSED_CODE]
+        messages = " ".join(f.message for f in findings)
+        assert "DET002" in messages and "DET003" in messages
+
+
+# -- encoding robustness (E902) -----------------------------------------------
+
+class TestEncoding:
+    def test_non_utf8_file_is_a_finding_not_a_crash(self, tmp_path):
+        bad = tmp_path / "latin.py"
+        bad.write_bytes(b"# caf\xe9\nx = 1\n")
+        report = lint_paths([str(bad)])
+        assert [f.code for f in report.findings] == ["E902"]
+        assert "UTF-8" in report.findings[0].message
+
+    def test_bom_file_is_flagged_and_still_linted(self, tmp_path):
+        bom = tmp_path / "bom.py"
+        bom.write_bytes(b"\xef\xbb\xbfimport time\n\n\n"
+                        b"def f():\n    return time.time()\n")
+        report = lint_paths([str(bom)])
+        assert sorted(f.code for f in report.findings) \
+            == ["DET002", "E902"]
+
+    def test_cli_exits_nonzero_on_bad_encoding(self, tmp_path):
+        bad = tmp_path / "latin.py"
+        bad.write_bytes(b"# caf\xe9\n")
+        env = dict(os.environ, PYTHONPATH=REPO_SRC)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", str(bad)],
+            capture_output=True, text=True, env=env)
+        assert proc.returncode == 1
+        assert "E902" in proc.stdout
+
+
+# -- JSON golden for interprocedural payloads ---------------------------------
+
+def test_json_payload_carries_trace_and_law(tmp_path):
+    fixture = tmp_path / "proto_fixture.py"
+    fixture.write_text(textwrap.dedent("""
+        def transmit(window, nbytes):
+            window.consume(nbytes)
+
+        def entry(window, nbytes):
+            transmit(window, nbytes)
+    """))
+    report = lint_paths([str(fixture)])
+    payload = report.to_dict()
+    (finding,) = payload["findings"]
+    assert finding["code"] == "PROTO001"
+    assert finding["law"] == "H2_WINDOW_NEGATIVE"
+    assert isinstance(finding["trace"], list) and finding["trace"]
+
+
+# -- autofix ------------------------------------------------------------------
+
+class TestAutofix:
+    def test_det001_sorted_wrap_round_trips(self, tmp_path):
+        from repro.lint.autofix import fix_paths
+        fixture = tmp_path / "needs_sort.py"
+        fixture.write_text(textwrap.dedent("""
+            def rerequest(needed):
+                residue = set(needed)
+                out = []
+                for path in residue:
+                    out.append(path)
+                return out
+        """))
+        fixed = fix_paths([str(fixture)])
+        assert sum(fixed.values()) == 1
+        text = fixture.read_text()
+        assert "for path in sorted(residue):" in text
+        assert lint_paths([str(fixture)]).findings == []
+
+    def test_sim002_guard_insertion_round_trips(self, tmp_path):
+        from repro.lint.autofix import fix_paths
+        fixture = tmp_path / "needs_guard.py"
+        fixture.write_text(textwrap.dedent("""
+            def fire(conn, frame):
+                conn.probe(frame)
+        """))
+        fixed = fix_paths([str(fixture)])
+        assert sum(fixed.values()) == 1
+        text = fixture.read_text()
+        assert "if conn.probe is not None:" in text
+        assert "        conn.probe(frame)" in text
+        assert lint_paths([str(fixture)]).findings == []
+
+    def test_fix_is_idempotent_on_clean_files(self, tmp_path):
+        from repro.lint.autofix import fix_paths
+        fixture = tmp_path / "clean.py"
+        original = "def f(xs):\n    return sorted(set(xs))\n"
+        fixture.write_text(original)
+        assert fix_paths([str(fixture)]) == {}
+        assert fixture.read_text() == original
+
+    def test_cli_fix_flag(self, tmp_path):
+        fixture = tmp_path / "needs_sort.py"
+        fixture.write_text("def f(xs):\n"
+                           "    s = set(xs)\n"
+                           "    return list(s)\n")
+        env = dict(os.environ, PYTHONPATH=REPO_SRC)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", str(fixture), "--fix"],
+            capture_output=True, text=True, env=env)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "sorted(s)" in fixture.read_text()
+
+
+# -- baseline workflow --------------------------------------------------------
+
+class TestBaseline:
+    def test_write_then_filter_then_stale(self, tmp_path):
+        fixture = tmp_path / "legacy.py"
+        fixture.write_text("registry = {}\n")
+        baseline = tmp_path / "baseline.json"
+        env = dict(os.environ, PYTHONPATH=REPO_SRC)
+        wrote = subprocess.run(
+            [sys.executable, "-m", "repro.lint", str(fixture),
+             "--write-baseline", str(baseline)],
+            capture_output=True, text=True, env=env)
+        assert wrote.returncode == 0, wrote.stdout + wrote.stderr
+        assert baseline.is_file()
+
+        report = lint_paths([str(fixture)],
+                            baseline_path=str(baseline))
+        assert report.findings == []
+        assert report.baselined == 1
+        assert report.stale_baseline == 0
+
+        fixture.write_text("registry = None\n")
+        report = lint_paths([str(fixture)],
+                            baseline_path=str(baseline))
+        assert report.findings == []
+        assert report.baselined == 0
+        assert report.stale_baseline == 1
+
+    def test_baseline_does_not_absorb_new_findings(self, tmp_path):
+        fixture = tmp_path / "legacy.py"
+        fixture.write_text("registry = {}\n")
+        baseline = tmp_path / "baseline.json"
+        env = dict(os.environ, PYTHONPATH=REPO_SRC)
+        subprocess.run(
+            [sys.executable, "-m", "repro.lint", str(fixture),
+             "--write-baseline", str(baseline)],
+            capture_output=True, text=True, env=env)
+        fixture.write_text("registry = {}\nother = {}\n")
+        report = lint_paths([str(fixture)],
+                            baseline_path=str(baseline))
+        assert [f.code for f in report.findings] == ["DET005"]
+        assert report.baselined == 1
+
+    def test_missing_baseline_is_a_usage_error(self, tmp_path):
+        env = dict(os.environ, PYTHONPATH=REPO_SRC)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", str(tmp_path),
+             "--baseline", str(tmp_path / "nope.json")],
+            capture_output=True, text=True, env=env)
+        assert proc.returncode == 2
+
+
+# -- zero-argument invocation -------------------------------------------------
+
+def test_zero_arg_lint_defaults_to_package_root(tmp_path):
+    """`repro lint` with no paths lints the installed package, from any
+    working directory."""
+    env = dict(os.environ, PYTHONPATH=REPO_SRC)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.lint", "--stats"],
+        capture_output=True, text=True, env=env, cwd=str(tmp_path))
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 findings" in proc.stdout
+    assert "per-rule summary" in proc.stdout
+
+
+def test_zero_arg_via_repro_cli(tmp_path):
+    env = dict(os.environ, PYTHONPATH=REPO_SRC)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint"],
+        capture_output=True, text=True, env=env, cwd=str(tmp_path))
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 findings" in proc.stdout
