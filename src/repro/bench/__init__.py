@@ -1,0 +1,40 @@
+"""The benchmark trajectory layer (``repro bench``).
+
+Speed claims in this repository are backed by machine-readable
+snapshots, not prose: ``repro bench`` runs a fixed suite of seeded
+workloads over the hot path (simulator event heap, packet/trace churn,
+TCP reassembly, HPACK, a full attacked session), measures each one, and
+writes one schema-versioned ``BENCH_<topic>.json`` per topic.  CI and
+humans diff trajectories with ``repro bench --compare OLD NEW``.
+
+Layout
+------
+``workloads``  the fixed, seeded workload suite (no wall-clock reads);
+``measure``    the *only* module allowed to read the wall clock;
+``snapshot``   the ``BENCH_<topic>.json`` schema and I/O;
+``compare``    per-topic deltas and the regression-threshold policy;
+``cli``        the ``repro bench`` subcommand.
+
+See docs/BENCHMARKS.md for the schema, the threshold policy and the
+performance playbook recording every optimization with its measured
+before/after numbers.
+"""
+
+from repro.bench.compare import TIME_METRICS, compare_snapshots
+from repro.bench.measure import Measurement, measure
+from repro.bench.snapshot import SCHEMA_VERSION, BenchSnapshot
+from repro.bench.workloads import SCALES, Scale, Workload, scale_by_name, workloads
+
+__all__ = [
+    "BenchSnapshot",
+    "Measurement",
+    "SCALES",
+    "SCHEMA_VERSION",
+    "Scale",
+    "TIME_METRICS",
+    "Workload",
+    "compare_snapshots",
+    "measure",
+    "scale_by_name",
+    "workloads",
+]

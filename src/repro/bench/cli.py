@@ -1,0 +1,124 @@
+"""The ``repro bench`` subcommand.
+
+Two modes:
+
+* ``repro bench [--topics a,b] [--scale full|smoke] [--repeats N]
+  [--out-dir DIR]`` -- run the suite and write one
+  ``BENCH_<topic>.json`` per topic (default: the current directory,
+  i.e. the repository root when run from a checkout);
+* ``repro bench --compare OLD NEW [--threshold F] [--advisory-time]``
+  -- diff two snapshot sets (directories or single files) and exit
+  nonzero on regression, so CI can gate on the trajectory.
+
+Exit codes: 0 clean, 1 regression/failed run, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List
+
+from repro.bench.compare import (DEFAULT_THRESHOLD, CompareUsageError,
+                                 compare_snapshots, render_table)
+from repro.bench.measure import environment, measure
+from repro.bench.snapshot import BenchSnapshot, SnapshotError, load_location
+from repro.bench.workloads import scale_by_name, workloads
+
+
+def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--topics", default=None, metavar="A,B,...",
+                        help="comma-separated topic subset "
+                             "(default: the whole suite)")
+    parser.add_argument("--scale", default="full",
+                        help="workload scale: full (committed baseline) "
+                             "or smoke (reduced local/CI suite)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed runs per topic, best kept (default 3)")
+    parser.add_argument("--out-dir", default=".", metavar="DIR",
+                        help="where BENCH_<topic>.json files are written "
+                             "(default: current directory)")
+    parser.add_argument("--list", action="store_true", dest="list_topics",
+                        help="list suite topics and exit")
+    parser.add_argument("--compare", nargs=2, default=None,
+                        metavar=("OLD", "NEW"),
+                        help="diff two snapshot sets (directories or "
+                             "files) instead of running workloads")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="allowed events-per-second regression as a "
+                             f"fraction (default {DEFAULT_THRESHOLD})")
+    parser.add_argument("--advisory-time", action="store_true",
+                        help="report time-metric regressions without "
+                             "failing (counts stay strict); for diffs "
+                             "across machines")
+
+
+def run_bench_command(args: argparse.Namespace) -> int:
+    if args.list_topics:
+        for workload in workloads():
+            print(f"{workload.topic:<16} v{workload.version}  "
+                  f"{workload.description}")
+        return 0
+    if args.compare is not None:
+        return _run_compare(args)
+    return _run_suite(args)
+
+
+def _run_compare(args: argparse.Namespace) -> int:
+    old_path, new_path = args.compare
+    try:
+        old = load_location(old_path)
+        new = load_location(new_path)
+        deltas, problems, exit_code = compare_snapshots(
+            old, new, threshold=args.threshold,
+            advisory_time=args.advisory_time)
+    except (SnapshotError, CompareUsageError) as exc:
+        print(f"bench: {exc}")
+        return 2
+    print(render_table(deltas))
+    for problem in problems:
+        print(f"bench: {problem}")
+    print(f"bench: compare {'clean' if exit_code == 0 else 'FAILED'} "
+          f"({len(old)} topics old, {len(new)} new, "
+          f"threshold -{args.threshold:.0%})")
+    return exit_code
+
+
+def _run_suite(args: argparse.Namespace) -> int:
+    try:
+        scale = scale_by_name(args.scale)
+    except ValueError as exc:
+        print(f"bench: {exc}")
+        return 2
+    suite = workloads()
+    if args.topics is not None:
+        wanted = [t.strip() for t in args.topics.split(",") if t.strip()]
+        known = {w.topic for w in suite}
+        unknown = [t for t in wanted if t not in known]
+        if unknown or not wanted:
+            print(f"bench: unknown topics {', '.join(unknown) or '(none)'}"
+                  f"; known: {', '.join(sorted(known))}")
+            return 2
+        suite = tuple(w for w in suite if w.topic in wanted)
+    if args.repeats < 1:
+        print("bench: --repeats must be >= 1")
+        return 2
+
+    env = environment()
+    written: List[str] = []
+    print(f"{'topic':<16} {'events':>12} {'wall_ms':>10} "
+          f"{'events/s':>12} {'peak_kb':>10}")
+    for workload in suite:
+        measurement = measure(lambda w=workload: w.run(scale),
+                              repeats=args.repeats)
+        snap = BenchSnapshot.from_measurement(
+            workload.topic, workload.version, scale.name, measurement,
+            environment=env)
+        path = snap.write(args.out_dir)
+        written.append(path)
+        print(f"{workload.topic:<16} {measurement.events:>12} "
+              f"{measurement.wall_time_s * 1e3:>10.1f} "
+              f"{measurement.events_per_second:>12.0f} "
+              f"{measurement.peak_tracemalloc_kb:>10.0f}")
+    print(f"bench: wrote {len(written)} snapshot(s) "
+          f"[scale={scale.name}, repeats={args.repeats}] to {args.out_dir}")
+    return 0

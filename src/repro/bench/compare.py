@@ -1,0 +1,152 @@
+"""Trajectory diffing: per-topic deltas and the regression policy.
+
+Policy (documented in docs/BENCHMARKS.md):
+
+* **Count metrics are strict.**  ``events`` must be byte-identical
+  between snapshots of the same workload version and scale; any drift
+  means the workload's semantics changed and the trajectory has to be
+  re-baselined deliberately.  A mismatch is always a failure.
+* **Time metrics are thresholded.**  ``events_per_second`` may regress
+  by up to ``threshold`` (default 25%) before the comparison fails --
+  wall time on shared CI machines is noisy.  ``--advisory-time``
+  downgrades time regressions to warnings for environments (cross-host
+  diffs) where timing is not comparable at all.
+* **Memory metrics are advisory.**  Peak traced memory, allocation
+  counts and RSS are printed, never gated on: allocator and platform
+  details leak into them.
+* Scale or workload-version mismatches are usage errors (exit 2), not
+  regressions: the numbers are not comparable in the first place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.bench.snapshot import BenchSnapshot
+
+#: Metric names gated by the threshold (higher is better).
+TIME_METRICS = ("events_per_second",)
+#: Metric names printed for trend watching, never gated.
+ADVISORY_METRICS = ("wall_time_s", "peak_tracemalloc_kb",
+                    "allocated_blocks", "peak_rss_kb")
+
+#: Default allowed events-per-second regression (fraction).
+DEFAULT_THRESHOLD = 0.25
+
+
+class CompareUsageError(ValueError):
+    """Snapshots that cannot be meaningfully compared (exit code 2)."""
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One metric's movement between two snapshots of a topic."""
+
+    topic: str
+    metric: str
+    old: float
+    new: float
+    #: Fractional change, positive = metric increased.
+    change: float
+    #: "ok" | "improved" | "regressed" | "advisory" | "count-mismatch"
+    status: str
+
+
+def _change(old: float, new: float) -> float:
+    if old == 0:
+        return 0.0 if new == 0 else float("inf")
+    return (new - old) / old
+
+
+def compare_snapshots(old: Dict[str, BenchSnapshot],
+                      new: Dict[str, BenchSnapshot],
+                      threshold: float = DEFAULT_THRESHOLD,
+                      advisory_time: bool = False,
+                      ) -> Tuple[List[Delta], List[str], int]:
+    """Diff two snapshot sets.
+
+    Returns ``(deltas, problems, exit_code)`` where ``problems`` is the
+    list of human-readable failure lines and ``exit_code`` is 0 (clean),
+    1 (regression), raising :class:`CompareUsageError` for incomparable
+    inputs.  Topics present on only one side are reported: missing from
+    ``new`` is a regression (a topic silently dropped from the suite),
+    new-only topics are informational.
+    """
+    if not 0.0 <= threshold < 1.0:
+        raise CompareUsageError(f"threshold must be in [0, 1), "
+                                f"got {threshold}")
+    deltas: List[Delta] = []
+    problems: List[str] = []
+    exit_code = 0
+
+    for topic in sorted(old):
+        if topic not in new:
+            problems.append(f"{topic}: missing from NEW snapshot set")
+            exit_code = 1
+            continue
+        a, b = old[topic], new[topic]
+        if a.workload_version != b.workload_version:
+            raise CompareUsageError(
+                f"{topic}: workload_version {a.workload_version} vs "
+                f"{b.workload_version}; trajectories across workload "
+                "changes are not comparable (re-baseline instead)")
+        if a.scale != b.scale:
+            raise CompareUsageError(
+                f"{topic}: scale {a.scale!r} vs {b.scale!r}; run both "
+                "sides at the same --scale")
+
+        old_events = a.metrics.get("events", 0)
+        new_events = b.metrics.get("events", 0)
+        if old_events != new_events:
+            deltas.append(Delta(topic, "events", old_events, new_events,
+                                _change(old_events, new_events),
+                                "count-mismatch"))
+            problems.append(
+                f"{topic}: events {old_events:.0f} -> {new_events:.0f}; "
+                "deterministic counts must not drift (strict)")
+            exit_code = 1
+        else:
+            deltas.append(Delta(topic, "events", old_events, new_events,
+                                0.0, "ok"))
+
+        for metric in TIME_METRICS:
+            if metric not in a.metrics or metric not in b.metrics:
+                continue
+            o, n = a.metrics[metric], b.metrics[metric]
+            change = _change(o, n)
+            if change < -threshold:
+                status = "advisory" if advisory_time else "regressed"
+                deltas.append(Delta(topic, metric, o, n, change, status))
+                line = (f"{topic}: {metric} {o:.0f} -> {n:.0f} "
+                        f"({change:+.1%}, threshold -{threshold:.0%})")
+                if advisory_time:
+                    problems.append(f"advisory: {line}")
+                else:
+                    problems.append(line)
+                    exit_code = 1
+            else:
+                status = "improved" if change > threshold else "ok"
+                deltas.append(Delta(topic, metric, o, n, change, status))
+
+        for metric in ADVISORY_METRICS:
+            if metric not in a.metrics or metric not in b.metrics:
+                continue
+            o, n = a.metrics[metric], b.metrics[metric]
+            deltas.append(Delta(topic, metric, o, n, _change(o, n),
+                                "advisory"))
+
+    return deltas, problems, exit_code
+
+
+def render_table(deltas: List[Delta]) -> str:
+    """Fixed-width delta table, one line per (topic, metric)."""
+    lines = [f"{'topic':<16} {'metric':<22} {'old':>14} {'new':>14} "
+             f"{'change':>9}  status"]
+    for delta in deltas:
+        change = ("     --" if delta.change == 0.0
+                  else f"{delta.change:+.1%}")
+        lines.append(f"{delta.topic:<16} {delta.metric:<22} "
+                     f"{delta.old:>14.2f} {delta.new:>14.2f} "
+                     f"{change:>9}  {delta.status}")
+    return "\n".join(lines)

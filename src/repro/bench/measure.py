@@ -1,0 +1,112 @@
+"""Measurement harness -- the only bench module that reads the clock.
+
+Wall-clock reads are banned inside simulation code (lint rule DET002);
+this module is on the explicit allowlist, exactly like the runner's
+telemetry.  Keep every ``perf_counter``/timestamp call here so the
+allowlist stays one module wide.
+
+Two passes per workload:
+
+* a **timed** pass -- ``repeats`` runs, best (minimum) wall time kept,
+  with a ``gc.collect()`` before each run so collector debt from the
+  previous run is not billed to this one;
+* an **allocation** pass -- one run under :mod:`tracemalloc` for the
+  peak traced memory, plus the net ``sys.getallocatedblocks`` delta.
+
+The deterministic event count must agree across every run; a mismatch
+means the workload broke its own determinism contract and is raised
+immediately rather than written into a snapshot.
+"""
+
+from __future__ import annotations
+
+import gc
+import platform
+import sys
+import time
+import tracemalloc
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Everything measured about one workload run."""
+
+    events: int
+    wall_time_s: float
+    events_per_second: float
+    peak_tracemalloc_kb: float
+    allocated_blocks: int
+    peak_rss_kb: float
+    repeats: int
+
+
+def measure(run: Callable[[], int], repeats: int = 3) -> Measurement:
+    """Measure ``run`` (a zero-arg workload closure returning its event
+    count); best-of-``repeats`` wall time, one allocation pass."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+
+    best = float("inf")
+    events = None
+    for _ in range(repeats):
+        gc.collect()
+        start = time.perf_counter()
+        count = run()
+        elapsed = time.perf_counter() - start
+        if events is None:
+            events = count
+        elif count != events:
+            raise RuntimeError(
+                f"non-deterministic workload: {count} events vs {events} "
+                "on an earlier repeat")
+        best = min(best, elapsed)
+    assert events is not None
+
+    gc.collect()
+    blocks_before = sys.getallocatedblocks()
+    tracemalloc.start()
+    try:
+        alloc_count = run()
+        _, peak_traced = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    blocks_after = sys.getallocatedblocks()
+    if alloc_count != events:
+        raise RuntimeError(
+            f"non-deterministic workload: {alloc_count} events under "
+            f"tracemalloc vs {events} timed")
+
+    peak_rss_kb = 0.0
+    if resource is not None:
+        # ru_maxrss is the process high-water mark (kilobytes on Linux):
+        # monotone across topics, so only the first topic's value is
+        # attributable; recorded for trend watching, never gated on.
+        peak_rss_kb = float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+    return Measurement(
+        events=events,
+        wall_time_s=best,
+        events_per_second=events / best if best > 0 else 0.0,
+        peak_tracemalloc_kb=peak_traced / 1024.0,
+        allocated_blocks=max(0, blocks_after - blocks_before),
+        peak_rss_kb=peak_rss_kb,
+        repeats=repeats,
+    )
+
+
+def environment() -> Dict[str, str]:
+    """Provenance recorded into snapshots (informational only; compare
+    never gates on these fields)."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }

@@ -1,0 +1,147 @@
+"""``BENCH_<topic>.json``: the schema-versioned snapshot format.
+
+One file per topic at the repository root is the committed baseline of
+the performance trajectory.  The schema is versioned independently of
+the workloads: ``schema_version`` covers the *file shape*,
+``workload_version`` covers the *meaning of the numbers* (compare
+refuses to diff across either).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.bench.measure import Measurement
+
+#: Bump when the JSON shape below changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: File name pattern for snapshots.
+FILE_PREFIX = "BENCH_"
+
+
+class SnapshotError(ValueError):
+    """A snapshot file that cannot be interpreted."""
+
+
+@dataclass
+class BenchSnapshot:
+    """The parsed (or to-be-written) contents of one ``BENCH_*.json``."""
+
+    topic: str
+    workload_version: int
+    scale: str
+    metrics: Dict[str, float]
+    environment: Dict[str, str] = field(default_factory=dict)
+    schema_version: int = SCHEMA_VERSION
+
+    @classmethod
+    def from_measurement(cls, topic: str, workload_version: int, scale: str,
+                         measurement: Measurement,
+                         environment: Optional[Dict[str, str]] = None,
+                         ) -> "BenchSnapshot":
+        return cls(
+            topic=topic,
+            workload_version=workload_version,
+            scale=scale,
+            metrics={
+                "events": measurement.events,
+                "wall_time_s": measurement.wall_time_s,
+                "events_per_second": measurement.events_per_second,
+                "peak_tracemalloc_kb": measurement.peak_tracemalloc_kb,
+                "allocated_blocks": measurement.allocated_blocks,
+                "peak_rss_kb": measurement.peak_rss_kb,
+                "repeats": measurement.repeats,
+            },
+            environment=dict(environment or {}),
+        )
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": self.schema_version,
+            "topic": self.topic,
+            "workload_version": self.workload_version,
+            "scale": self.scale,
+            "metrics": dict(self.metrics),
+            "environment": dict(self.environment),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict, source: str = "<dict>") -> "BenchSnapshot":
+        if not isinstance(data, dict):
+            raise SnapshotError(f"{source}: snapshot must be a JSON object")
+        version = data.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise SnapshotError(
+                f"{source}: unsupported schema_version {version!r} "
+                f"(this build reads {SCHEMA_VERSION})")
+        try:
+            topic = data["topic"]
+            workload_version = int(data["workload_version"])
+            scale = data["scale"]
+            metrics = data["metrics"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SnapshotError(f"{source}: malformed snapshot: {exc}")
+        if not isinstance(topic, str) or not topic:
+            raise SnapshotError(f"{source}: topic must be a non-empty string")
+        if not isinstance(metrics, dict) or "events" not in metrics \
+                or "events_per_second" not in metrics:
+            raise SnapshotError(
+                f"{source}: metrics must include at least 'events' and "
+                "'events_per_second'")
+        environment = data.get("environment") or {}
+        if not isinstance(environment, dict):
+            raise SnapshotError(f"{source}: environment must be an object")
+        return cls(topic=topic, workload_version=workload_version,
+                   scale=str(scale), metrics=dict(metrics),
+                   environment=dict(environment))
+
+    def write(self, directory: str) -> str:
+        """Write ``BENCH_<topic>.json`` into ``directory``; returns path."""
+        os.makedirs(directory, exist_ok=True)
+        path = snapshot_path(directory, self.topic)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+        return path
+
+    @classmethod
+    def read(cls, path: str) -> "BenchSnapshot":
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except OSError as exc:
+            raise SnapshotError(f"{path}: unreadable snapshot: {exc}")
+        except json.JSONDecodeError as exc:
+            raise SnapshotError(f"{path}: invalid JSON: {exc}")
+        return cls.from_dict(data, source=path)
+
+
+def snapshot_path(directory: str, topic: str) -> str:
+    return os.path.join(directory, f"{FILE_PREFIX}{topic}.json")
+
+
+def load_location(path: str) -> Dict[str, BenchSnapshot]:
+    """Load snapshots from a directory (every ``BENCH_*.json`` in it) or
+    from a single snapshot file.  Returns ``{topic: snapshot}``."""
+    snapshots: Dict[str, BenchSnapshot] = {}
+    if os.path.isdir(path):
+        names: List[str] = sorted(
+            n for n in os.listdir(path)
+            if n.startswith(FILE_PREFIX) and n.endswith(".json"))
+        if not names:
+            raise SnapshotError(f"{path}: no {FILE_PREFIX}*.json files")
+        for name in names:
+            snap = BenchSnapshot.read(os.path.join(path, name))
+            snapshots[snap.topic] = snap
+        return snapshots
+    snap = BenchSnapshot.read(path)
+    snapshots[snap.topic] = snap
+    return snapshots

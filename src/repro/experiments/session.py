@@ -211,8 +211,8 @@ def run_session(config: SessionConfig) -> SessionResult:
         client=client,
         server=server,
         duration_s=sim.now,
-        retransmissions_c2s=len(trace.retransmitted_packets(CLIENT_TO_SERVER)),
-        retransmissions_s2c=len(trace.retransmitted_packets(SERVER_TO_CLIENT)),
+        retransmissions_c2s=trace.retransmit_count(CLIENT_TO_SERVER),
+        retransmissions_s2c=trace.retransmit_count(SERVER_TO_CLIENT),
         processed_events=sim.processed_events,
         injector=injector,
         monitor=suite,

@@ -16,7 +16,7 @@ from typing import Any, Dict, Optional, Tuple
 FRAME_HEADER_LEN = 9
 
 
-@dataclass
+@dataclass(slots=True)
 class Frame:
     """Base frame: subclasses define their payload length."""
 
@@ -35,7 +35,7 @@ class Frame:
         return type(self).__name__.replace("Frame", "").upper()
 
 
-@dataclass
+@dataclass(slots=True)
 class DataFrame(Frame):
     """A chunk of response body.
 
@@ -56,7 +56,7 @@ class DataFrame(Frame):
         return self.length
 
 
-@dataclass
+@dataclass(slots=True)
 class HeadersFrame(Frame):
     """Request or response headers (one HPACK-encoded block)."""
 
@@ -72,7 +72,7 @@ class HeadersFrame(Frame):
         return self.header_block_len + extra
 
 
-@dataclass
+@dataclass(slots=True)
 class PushPromiseFrame(Frame):
     """Server push announcement (RFC 7540 section 6.6)."""
 
@@ -85,7 +85,7 @@ class PushPromiseFrame(Frame):
         return 4 + self.header_block_len
 
 
-@dataclass
+@dataclass(slots=True)
 class SettingsFrame(Frame):
     """Connection settings exchange."""
 
@@ -97,7 +97,7 @@ class SettingsFrame(Frame):
         return 0 if self.ack else 6 * len(self.settings)
 
 
-@dataclass
+@dataclass(slots=True)
 class RstStreamFrame(Frame):
     """Abort one stream -- the frame the targeted-drop phase provokes."""
 
@@ -108,7 +108,7 @@ class RstStreamFrame(Frame):
         return 4
 
 
-@dataclass
+@dataclass(slots=True)
 class GoAwayFrame(Frame):
     """Connection shutdown notice."""
 
@@ -120,7 +120,7 @@ class GoAwayFrame(Frame):
         return 8
 
 
-@dataclass
+@dataclass(slots=True)
 class WindowUpdateFrame(Frame):
     """Flow-control credit."""
 
@@ -131,7 +131,7 @@ class WindowUpdateFrame(Frame):
         return 4
 
 
-@dataclass
+@dataclass(slots=True)
 class PingFrame(Frame):
     """Liveness probe."""
 
@@ -142,7 +142,7 @@ class PingFrame(Frame):
         return 8
 
 
-@dataclass
+@dataclass(slots=True)
 class PriorityFrame(Frame):
     """Stream reprioritization."""
 

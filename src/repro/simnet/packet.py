@@ -32,7 +32,7 @@ HEADER_OVERHEAD = 54
 MTU = 1500
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RecordInfo:
     """Cleartext-visible information about (a slice of) a TLS record.
 
@@ -56,7 +56,7 @@ class RecordInfo:
         return self.content_type == 23
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TcpWireView:
     """Cleartext TCP header fields."""
 
@@ -76,7 +76,7 @@ class TcpWireView:
         return self.payload_len == 0 and not (self.syn or self.fin or self.rst)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WireView:
     """Everything an on-path, non-decrypting observer may read."""
 
@@ -99,7 +99,7 @@ class WireView:
         return sum(r.bytes_in_packet for r in self.records if r.is_application_data)
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """A network packet in flight.
 

@@ -4,17 +4,26 @@ The adversary's traffic monitor (``tshark`` in the paper) and the
 offline analysis both consume these captures.  Only
 :class:`~repro.simnet.packet.WireView` data is stored -- the capture is
 exactly what a real on-path sniffer would have.
+
+Storage is columnar and append-only: the per-packet tap appends one
+scalar to each of four parallel arrays instead of allocating a
+``CapturedPacket`` object per packet, and running counters (packets per
+direction, retransmissions) are maintained at append time so the
+telemetry the session runner reads after every run is O(1) instead of a
+full-trace scan.  ``CapturedPacket`` remains the *view* type: accessor
+methods materialize it lazily for analysis code, which runs once per
+session rather than once per packet.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterator, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
-from repro.simnet.packet import RecordInfo, WireView
+from repro.simnet.packet import WireView
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CapturedPacket:
     """One packet as seen transiting the middlebox."""
 
@@ -24,7 +33,7 @@ class CapturedPacket:
     dropped: bool
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CompletedRecord:
     """A TLS record whose last byte has been observed.
 
@@ -47,30 +56,51 @@ class CompletedRecord:
 class TraceRecorder:
     """Accumulates captured packets and derives record-level views."""
 
+    __slots__ = ("include_dropped", "_times", "_directions", "_views",
+                 "_dropped", "_retransmits")
+
     def __init__(self, include_dropped: bool = True):
         self.include_dropped = include_dropped
-        self._packets: List[CapturedPacket] = []
+        self._times: List[float] = []
+        self._directions: List[str] = []
+        self._views: List[WireView] = []
+        self._dropped: List[bool] = []
+        #: direction -> retransmitted-packet count (dropped included),
+        #: maintained at append time for O(1) session telemetry.
+        self._retransmits: dict = {}
 
     # The middlebox tap signature.
     def __call__(self, now: float, direction: str, view: WireView, dropped: bool) -> None:
         if dropped and not self.include_dropped:
             return
-        self._packets.append(CapturedPacket(now, direction, view, dropped))
+        self._times.append(now)
+        self._directions.append(direction)
+        self._views.append(view)
+        self._dropped.append(dropped)
+        if view.is_retransmit:
+            self._retransmits[direction] = \
+                self._retransmits.get(direction, 0) + 1
 
     def __len__(self) -> int:
-        return len(self._packets)
+        return len(self._times)
 
     def clear(self) -> None:
         """Forget everything captured so far."""
-        self._packets.clear()
+        self._times.clear()
+        self._directions.clear()
+        self._views.clear()
+        self._dropped.clear()
+        self._retransmits.clear()
 
     def packets(self, direction: Optional[str] = None,
                 include_dropped: bool = False) -> List[CapturedPacket]:
         """Captured packets, optionally filtered by direction."""
         return [
-            p for p in self._packets
-            if (direction is None or p.direction == direction)
-            and (include_dropped or not p.dropped)
+            CapturedPacket(t, d, v, x)
+            for t, d, v, x in zip(self._times, self._directions,
+                                  self._views, self._dropped)
+            if (direction is None or d == direction)
+            and (include_dropped or not x)
         ]
 
     def application_packets(self, direction: str) -> List[CapturedPacket]:
@@ -92,29 +122,40 @@ class TraceRecorder:
         """
         open_records: dict = {}
         completed: List[CompletedRecord] = []
-        for captured in self.packets(direction):
-            for info in captured.view.records:
+        for time, d, view, dropped in zip(self._times, self._directions,
+                                          self._views, self._dropped):
+            if d != direction or dropped:
+                continue
+            for info in view.records:
                 if content_type is not None and info.content_type != content_type:
                     continue
                 key = info.record_id
                 if info.is_start or key not in open_records:
-                    open_records[key] = captured.time
+                    open_records[key] = time
                 if info.is_end:
-                    start_time = open_records.pop(key, captured.time)
+                    start_time = open_records.pop(key, time)
                     completed.append(CompletedRecord(
                         record_id=info.record_id,
                         content_type=info.content_type,
                         wire_len=info.record_wire_len,
                         start_time=start_time,
-                        end_time=captured.time,
-                        direction=captured.direction,
-                        final_packet_size=captured.view.size,
+                        end_time=time,
+                        direction=d,
+                        final_packet_size=view.size,
                     ))
         return completed
 
     def count(self, predicate: Callable[[CapturedPacket], bool]) -> int:
         """Number of captured packets satisfying ``predicate``."""
-        return sum(1 for p in self._packets if predicate(p))
+        return sum(1 for p in self.packets(include_dropped=True)
+                   if predicate(p))
+
+    def retransmit_count(self, direction: Optional[str] = None) -> int:
+        """O(1) count of packets flagged as TCP retransmissions
+        (dropped packets included, matching a seq-tracking sniffer)."""
+        if direction is not None:
+            return self._retransmits.get(direction, 0)
+        return sum(self._retransmits.values())
 
     def retransmitted_packets(self, direction: Optional[str] = None) -> List[CapturedPacket]:
         """Packets flagged as TCP retransmissions (inferable from seq reuse)."""
@@ -123,6 +164,6 @@ class TraceRecorder:
 
     def time_span(self) -> Tuple[float, float]:
         """(first, last) capture timestamps; (0, 0) when empty."""
-        if not self._packets:
+        if not self._times:
             return (0.0, 0.0)
-        return (self._packets[0].time, self._packets[-1].time)
+        return (self._times[0], self._times[-1])

@@ -15,7 +15,7 @@ from typing import List, Tuple
 from repro.simnet.packet import RecordInfo, TcpWireView
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RecordSlice:
     """A contiguous span of one TLS record carried by one segment.
 
@@ -47,7 +47,7 @@ class RecordSlice:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class TcpSegment:
     """One TCP segment (the payload of one simulated packet)."""
 

@@ -20,7 +20,7 @@ APPLICATION_DATA = 23
 _record_ids = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class TlsRecord:
     """One TLS record riding the TCP byte stream.
 
