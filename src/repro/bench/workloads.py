@@ -37,13 +37,16 @@ class Scale:
     stream_bytes: int
     hpack_blocks: int
     session_loads: int
+    lint_passes: int
 
 
 SCALES: Tuple[Scale, ...] = (
     Scale(name="full", heap_events=300_000, trace_packets=60_000,
-          stream_bytes=80_000_000, hpack_blocks=6_000, session_loads=2),
+          stream_bytes=80_000_000, hpack_blocks=6_000, session_loads=2,
+          lint_passes=2),
     Scale(name="smoke", heap_events=60_000, trace_packets=12_000,
-          stream_bytes=12_000_000, hpack_blocks=1_200, session_loads=1),
+          stream_bytes=12_000_000, hpack_blocks=1_200, session_loads=1,
+          lint_passes=1),
 )
 
 
@@ -252,6 +255,37 @@ def _run_hpack(scale: Scale) -> int:
     return ops
 
 
+# -- lint: the whole-program analyzer over its own source -------------------
+
+def _run_lint(scale: Scale) -> int:
+    """A full analyzer pass over the installed ``repro`` package (the
+    self-check workload), plus an explicit sweep of the flow-sensitive
+    core: build every function's CFG and solve dominators and reaching
+    definitions on it.  The event count is files + findings + blocks +
+    solved facts -- a pure function of the committed source tree, so
+    any drift in it means the analyzer or the tree changed shape.
+    """
+    from repro.lint.cfg import build_cfg
+    from repro.lint.cli import package_root
+    from repro.lint.dataflow import dominators, reaching_definitions
+    from repro.lint.engine import build_project, lint_paths, load_contexts
+
+    root = package_root()
+    events = 0
+    for _ in range(scale.lint_passes):
+        report = lint_paths([root])
+        events += report.files_checked + len(report.findings)
+        project = build_project(load_contexts([root]))
+        for key in sorted(project.functions):
+            fn = project.functions[key]
+            cfg = build_cfg(fn.node)
+            events += len(cfg.blocks)
+            events += sum(len(doms) for doms
+                          in dominators(cfg).values())
+            events += len(reaching_definitions(cfg, fn.node))
+    return events
+
+
 # -- session: the figure5-style macro workload ------------------------------
 
 def _run_session(scale: Scale) -> int:
@@ -282,6 +316,9 @@ def workloads() -> Tuple[Workload, ...]:
         Workload("hpack", 1,
                  "HPACK encode/decode with dynamic-table churn",
                  _run_hpack),
+        Workload("lint", 1,
+                 "whole-program analyzer self-check + CFG/dataflow sweep",
+                 _run_lint),
         Workload("session", 1,
                  "full attacked page loads (figure5-style macro run)",
                  _run_session),

@@ -29,6 +29,11 @@ class Http1ServerConfig:
     processing_delay_mean_s: float = 0.0008
     #: Typical response-header bytes (status line + headers).
     response_header_bytes: int = 230
+    #: Accepted-connection cap: further accepts are refused (slow-DoS
+    #: guard; generous enough that legitimate workloads never hit it).
+    max_connections: int = 256
+    #: Pipelined-request cap per connection: requests beyond it drop.
+    max_pipeline_depth: int = 512
 
 
 @dataclass(frozen=True)
@@ -75,6 +80,8 @@ class _H1Connection:
             return
         payload = record.payload
         if isinstance(payload, H1Request):
+            if len(self._queue) >= self.server.config.max_pipeline_depth:
+                return  # pipeline flooded: shed the request
             self._queue.append(payload.path)
             self._maybe_serve()
 
@@ -137,5 +144,7 @@ class Http1Server:
         self.tcp.listen(self.config.port, self._on_accept)
 
     def _on_accept(self, conn: TcpConnection) -> None:
+        if len(self.connections) >= self.config.max_connections:
+            return  # connection flood: refuse service, keep the rest alive
         tls = TlsSession(conn, role="server")
         self.connections.append(_H1Connection(self, tls))

@@ -59,6 +59,9 @@ class Http2ServerConfig:
     #: Optional defense hook: path -> list of paths to server-push when
     #: that path is served (requires the client to enable push).
     push_map: Optional[Dict[str, List[str]]] = None
+    #: Accepted-connection cap: further accepts are refused (slow-DoS
+    #: guard; generous enough that legitimate workloads never hit it).
+    max_connections: int = 256
 
 
 @dataclass(frozen=True, slots=True)
@@ -443,6 +446,8 @@ class Http2Server:
         self.tcp.listen(self.config.port, self._on_accept)
 
     def _on_accept(self, conn: TcpConnection) -> None:
+        if len(self.connections) >= self.config.max_connections:
+            return  # connection flood: refuse service, keep the rest alive
         tls = TlsSession(conn, role="server")
         self.connections.append(ServerConnection(self, tls))
 

@@ -4,7 +4,7 @@ The simulator's reproducibility contract (docs/ARCHITECTURE.md) is only
 worth something if it is enforced; ``repro.lint`` turns its clauses into
 machine-checked rules.  A run parses every file, builds a project-wide
 symbol table / call graph (:mod:`repro.lint.project`), and dispatches
-five rule families:
+seven rule families:
 
 =========  ============================================================
 DET001-6   determinism: set-iteration order (now interprocedural, with
@@ -15,38 +15,75 @@ SIM001-2   simulation contracts: scheduling into the simulated past
 CACHE001-2 cache purity: ambient env/filesystem/cwd reads and mutable
            module-global use reachable from RunSpec cell functions
 PROTO001-2 static counterparts of runtime protocol laws: window
-           consume() domination (H2_WINDOW_NEGATIVE), frame emission
-           after reset/CLOSED (H2_DATA_ON_RESET_STREAM)
+           consume() domination (H2_WINDOW_NEGATIVE, true CFG
+           dominance), frame emission after reset/CLOSED
+           (H2_DATA_ON_RESET_STREAM)
+RES001-3   typestate resource lifecycles over CFG paths: stream
+           handles closed/reset on every path (H2_STREAM_LEAK),
+           flow-control credit replenished on exception paths
+           (H2_CREDIT_LEAK), probe hooks disarmed (PROBE_LIFECYCLE,
+           autofixable)
+DOS001-2   peer-driven exhaustion shapes: receive loops with no
+           timeout/deadline reachable from dispatch (DOS_SLOW_READ),
+           unbounded appends of peer input in event handlers
+           (DOS_UNBOUNDED_QUEUE)
 PERF001-2  accidentally quadratic patterns (list.pop(0), linear 'in'
            on lists) inside event-loop-reachable hot paths
 =========  ============================================================
+
+The flow-sensitive core behind PROTO/RES/DOS lives in
+:mod:`repro.lint.cfg` (per-function control-flow graphs),
+:mod:`repro.lint.dataflow` (worklist solver: dominators, reaching
+definitions, liveness) and :mod:`repro.lint.typestate` (declarative
+acquire/release state machines); findings carry the concrete CFG path
+(``via file:line`` hops) as evidence.
 
 Silence a finding with a trailing ``# repro-lint: ignore[CODE]``
 comment; unused suppressions are reported per code (SUP001) and unknown
 codes in suppressions are flagged (SUP002).  Mechanical fixes:
 ``repro lint --fix``; gradual adoption: ``--baseline`` /
-``--write-baseline``.  Run as ``repro lint [paths]`` or
+``--write-baseline`` / ``--prune-baseline``; code-scanning export:
+``--sarif out.sarif``.  Run as ``repro lint [paths]`` or
 ``python -m repro.lint``; see docs/LINTING.md for the full catalogue.
 """
 
+from repro.lint.cfg import CFG, BasicBlock, Edge, build_cfg
+from repro.lint.dataflow import (dominators, immediate_dominators,
+                                 liveness, reaching_definitions, solve)
 from repro.lint.engine import (ALL_CODES, KNOWN_CODES, UNKNOWN_CODE,
                                UNUSED_CODE, build_project, lint_paths,
                                lint_source, module_name_for,
                                resolve_codes)
 from repro.lint.findings import Finding, LintReport
 from repro.lint.rules import RULES
+from repro.lint.sarif import to_sarif, write_sarif
+from repro.lint.typestate import LIFECYCLES, Lifecycle, check_lifecycles
 
 __all__ = [
     "ALL_CODES",
+    "BasicBlock",
+    "CFG",
+    "Edge",
     "Finding",
     "KNOWN_CODES",
+    "LIFECYCLES",
+    "Lifecycle",
     "LintReport",
     "RULES",
     "UNKNOWN_CODE",
     "UNUSED_CODE",
+    "build_cfg",
     "build_project",
+    "check_lifecycles",
+    "dominators",
+    "immediate_dominators",
     "lint_paths",
     "lint_source",
+    "liveness",
     "module_name_for",
+    "reaching_definitions",
     "resolve_codes",
+    "solve",
+    "to_sarif",
+    "write_sarif",
 ]

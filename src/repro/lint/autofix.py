@@ -1,6 +1,6 @@
 """Mechanical fixes for a small set of rules (``repro lint --fix``).
 
-Two rules have a fix that is correct by construction and cheap to
+Three rules have a fix that is correct by construction and cheap to
 verify by re-linting:
 
 * **DET001** -- wrap the set-typed expression in ``sorted(...)``: the
@@ -8,6 +8,9 @@ verify by re-linting:
   randomization.
 * **SIM002** -- wrap a bare ``x.probe(...)`` / ``x.frame_probe(...)``
   statement in the required ``if x.probe is not None:`` guard.
+* **RES003** -- insert the missing probe disarm (``x.probe = None``)
+  before the leaking ``return``, as directed by the finding's
+  ``fix_hint`` (the typestate rule computes the exact line).
 
 Fixes are applied as text edits spanning the node's
 ``lineno``/``end_lineno`` range, bottom-up so earlier edits never
@@ -26,7 +29,7 @@ from repro.lint.findings import Finding
 from repro.lint.rules import _dotted_name
 
 #: Codes --fix knows how to repair.
-FIXABLE_CODES = frozenset({"DET001", "SIM002"})
+FIXABLE_CODES = frozenset({"DET001", "SIM002", "RES003"})
 
 #: Upper bound on fix/re-lint rounds; each round strictly reduces the
 #: fixable-finding count, so this only guards against a misbehaving fix.
@@ -101,7 +104,33 @@ def _sim002_edit(source: str, offsets: List[int], tree: ast.Module,
     return (start, end, f"{indent}if {dotted} is not None:\n{body}")
 
 
-_FIXERS = {"DET001": _det001_edit, "SIM002": _sim002_edit}
+def _res003_edit(source: str, offsets: List[int], tree: ast.Module,
+                 finding: Finding) -> Optional[_Edit]:
+    """Insert the missing disarm before the leaking ``return``.
+
+    The typestate rule hands over the exact repair as a ``fix_hint``
+    triple ``("insert_before", line, code)`` -- it only does so when
+    the leaking exit is a plain return (exception exits need a
+    try/finally, which is a human's call).
+    """
+    if len(finding.fix_hint) != 3 or finding.fix_hint[0] != "insert_before":
+        return None
+    _action, line_text, code = finding.fix_hint
+    try:
+        lineno = int(line_text)
+    except ValueError:
+        return None
+    lines = source.splitlines(keepends=True)
+    if not 1 <= lineno <= len(lines):
+        return None
+    target = lines[lineno - 1]
+    indent = target[:len(target) - len(target.lstrip())]
+    start = offsets[lineno - 1]
+    return (start, start, f"{indent}{code}\n")
+
+
+_FIXERS = {"DET001": _det001_edit, "SIM002": _sim002_edit,
+           "RES003": _res003_edit}
 
 
 def fix_source(source: str, findings: Sequence[Finding]) -> Tuple[str, int]:

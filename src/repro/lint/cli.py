@@ -45,14 +45,21 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
                         help="lint the repro package's own source tree")
     parser.add_argument("--fix", action="store_true",
                         help="apply mechanical fixes (DET001 sorted() "
-                             "wrap, SIM002 probe guard) before "
-                             "reporting what remains")
+                             "wrap, SIM002 probe guard, RES003 probe "
+                             "disarm insertion) before reporting what "
+                             "remains")
     parser.add_argument("--baseline", metavar="FILE", default=None,
                         help="drop findings recorded in this baseline "
                              "file (see docs/LINTING.md)")
     parser.add_argument("--write-baseline", metavar="FILE", default=None,
                         help="write surviving findings to FILE as a new "
                              "baseline and exit 0")
+    parser.add_argument("--prune-baseline", action="store_true",
+                        help="rewrite the --baseline file dropping "
+                             "entries that matched nothing this run")
+    parser.add_argument("--sarif", metavar="FILE", default=None,
+                        help="also write the report as SARIF 2.1.0 "
+                             "to FILE (for code-scanning uploads)")
     parser.add_argument("--stats", action="store_true",
                         help="print a per-rule summary table after the "
                              "findings")
@@ -68,6 +75,10 @@ def _print_stats(report) -> None:
         print("  (no findings)")
     print(f"  baselined: {report.baselined}, "
           f"stale baseline entries: {report.stale_baseline}")
+    for path, code, context, count in report.stale_entries:
+        suffix = f" (x{count})" if count > 1 else ""
+        print(f"  stale: {path} {code} {context!r}{suffix} -- "
+              f"matches nothing; drop it or run --prune-baseline")
 
 
 def run_lint_command(args: argparse.Namespace) -> int:
@@ -85,10 +96,29 @@ def run_lint_command(args: argparse.Namespace) -> int:
                       f"{'' if count == 1 else 's'} in {path}",
                       file=sys.stderr)
         report = lint_paths(paths, select=args.select, ignore=args.ignore,
-                            baseline_path=getattr(args, "baseline", None))
+                            baseline_path=getattr(args, "baseline", None),
+                            prune_baseline=getattr(args, "prune_baseline",
+                                                   False))
     except (ValueError, OSError) as exc:
         print(f"repro lint: {exc}", file=sys.stderr)
         return 2
+
+    if report.pruned_baseline:
+        print(f"pruned {report.pruned_baseline} stale baseline "
+              f"entr{'y' if report.pruned_baseline == 1 else 'ies'} "
+              f"from {args.baseline}", file=sys.stderr)
+
+    sarif_to = getattr(args, "sarif", None)
+    if sarif_to:
+        from repro.lint.sarif import write_sarif
+        try:
+            write_sarif(sarif_to, report)
+        except OSError as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote SARIF report ({len(report.findings)} result"
+              f"{'' if len(report.findings) == 1 else 's'}) to {sarif_to}",
+              file=sys.stderr)
 
     write_to = getattr(args, "write_baseline", None)
     if write_to:

@@ -21,12 +21,23 @@ import os
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.lint.baseline import Baseline
-from repro.lint.families import check_module_all, check_window_paths
+from repro.lint.families import (check_dos_paths, check_module_all,
+                                 check_window_paths)
 from repro.lint.findings import Finding, LintReport
 from repro.lint.project import ModuleInfo, Project, collect_aliases
 from repro.lint.rules import RULES, ModuleContext
 from repro.lint.suppressions import (UNKNOWN_CODE, UNUSED_CODE,
                                      apply_suppressions)
+from repro.lint.typestate import check_lifecycles
+
+
+def _project_findings(project, enabled) -> List[Finding]:
+    """The whole-program rules: PROTO001 chains, RES lifecycles, DOS
+    shapes."""
+    findings = list(check_window_paths(project, set(enabled)))
+    findings.extend(check_lifecycles(project, set(enabled)))
+    findings.extend(check_dos_paths(project, set(enabled)))
+    return findings
 
 ALL_CODES = tuple(sorted(RULES))
 
@@ -133,6 +144,15 @@ def _parse_files(files: Sequence[str]):
     return contexts, findings
 
 
+def load_contexts(paths: Sequence[str]) -> List[ModuleContext]:
+    """Parsed module contexts for every ``.py`` file under ``paths``
+    (undecodable/unparsable files are skipped).  Public wrapper for
+    tooling that wants the project model without a rule pass -- the
+    bench suite's CFG/dataflow sweep drives it."""
+    contexts, _ = _parse_files(discover_files(paths))
+    return contexts
+
+
 def build_project(contexts: Sequence[ModuleContext]) -> Project:
     """The whole-program model over every successfully parsed module."""
     return Project([
@@ -164,7 +184,7 @@ def lint_source(source: str, module_name: str, path: str = "<string>",
                         tree=tree, source=source)
     project = build_project([ctx])
     findings = check_module_all(ctx, set(enabled), project)
-    findings.extend(check_window_paths(project, set(enabled)))
+    findings.extend(_project_findings(project, enabled))
     kept, _ = apply_suppressions(findings, source, path, enabled,
                                  known_codes=KNOWN_CODES)
     kept.sort(key=lambda f: f.sort_key())
@@ -174,8 +194,16 @@ def lint_source(source: str, module_name: str, path: str = "<string>",
 def lint_paths(paths: Sequence[str],
                select: Optional[Sequence[str]] = None,
                ignore: Optional[Sequence[str]] = None,
-               baseline_path: Optional[str] = None) -> LintReport:
-    """Lint files and directories; the CLI's workhorse."""
+               baseline_path: Optional[str] = None,
+               prune_baseline: bool = False) -> LintReport:
+    """Lint files and directories; the CLI's workhorse.
+
+    With ``prune_baseline=True`` (requires ``baseline_path``), the
+    baseline file is rewritten after filtering, keeping only the
+    matched portion of each entry.
+    """
+    if prune_baseline and baseline_path is None:
+        raise ValueError("--prune-baseline requires --baseline FILE")
     enabled = resolve_codes(select, ignore)
     files = discover_files(paths)
     contexts, findings = _parse_files(files)
@@ -183,7 +211,7 @@ def lint_paths(paths: Sequence[str],
     per_file: Dict[str, List[Finding]] = {
         ctx.path: check_module_all(ctx, set(enabled), project)
         for ctx in contexts}
-    for finding in check_window_paths(project, set(enabled)):
+    for finding in _project_findings(project, enabled):
         per_file.setdefault(finding.path, []).append(finding)
     sources = {ctx.path: ctx.source for ctx in contexts}
     for ctx in contexts:
@@ -191,7 +219,8 @@ def lint_paths(paths: Sequence[str],
                                      ctx.path, enabled,
                                      known_codes=KNOWN_CODES)
         findings.extend(kept)
-    baselined = stale = 0
+    baselined = stale = pruned = 0
+    stale_entries: Tuple[Tuple[str, str, str, int], ...] = ()
     if baseline_path is not None:
         baseline = Baseline.load(baseline_path)
         surviving: List[Finding] = []
@@ -202,10 +231,15 @@ def lint_paths(paths: Sequence[str],
             else:
                 surviving.append(finding)
         stale = baseline.stale_count()
+        stale_entries = tuple(baseline.stale_entries())
         findings = surviving
+        if prune_baseline:
+            pruned = baseline.prune(baseline_path)
     findings.sort(key=lambda f: f.sort_key())
     return LintReport(findings=findings, files_checked=len(files),
-                      baselined=baselined, stale_baseline=stale)
+                      baselined=baselined, stale_baseline=stale,
+                      stale_entries=stale_entries,
+                      pruned_baseline=pruned)
 
 
 def source_line(sources: Dict[str, str], finding: Finding) -> str:
@@ -227,5 +261,5 @@ def source_line(sources: Dict[str, str], finding: Finding) -> str:
 
 __all__ = ["ALL_CODES", "KNOWN_CODES", "SPECIAL_CODES", "UNUSED_CODE",
            "UNKNOWN_CODE", "build_project", "discover_files",
-           "lint_paths", "lint_source", "module_name_for",
-           "resolve_codes", "source_line"]
+           "lint_paths", "lint_source", "load_contexts",
+           "module_name_for", "resolve_codes", "source_line"]

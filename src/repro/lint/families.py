@@ -438,21 +438,110 @@ def _checking_functions(project) -> Set:
     return checked
 
 
+class _CheckedRegion:
+    """The lines of one function dominated by a window check.
+
+    A *check event* is a direct ``can_send``/``can_send_data`` call or a
+    call to a checking function (the :func:`_checking_functions`
+    fixpoint).  Marking is flow-sensitive on the function's CFG:
+
+    * check in an ``if``/``while`` **test**: only the success branch is
+      checked -- the ``true`` successor (or the ``false`` successor for
+      a negated ``if not can_send():`` guard) plus every block it
+      dominates.  The untaken branch stays unchecked, which is exactly
+      the ``else: consume()`` false negative the old reverse-BFS missed.
+    * check in a plain **statement** (``eligible = self._filter()``):
+      later statements in its own block plus every block it strictly
+      dominates.
+    """
+
+    def __init__(self, project, fn, checking: Set):
+        from repro.lint.cfg import build_cfg, header_walk as _header_walk
+        from repro.lint.dataflow import dominators
+
+        self.lines: Set[int] = set()
+        cfg = build_cfg(fn.node)
+        dom = dominators(cfg)
+        info = project.modules[fn.module]
+
+        block_lines: dict = {}
+        for bid, block in cfg.blocks.items():
+            for stmt in block.statements:
+                for node in _header_walk(stmt):
+                    line = getattr(node, "lineno", None)
+                    if line is not None:
+                        block_lines.setdefault(bid, set()).add(line)
+
+        def is_check_call(node: ast.AST) -> bool:
+            if not isinstance(node, ast.Call):
+                return False
+            if _terminal_name(node.func) in ("can_send", "can_send_data"):
+                return True
+            candidates = project._resolve_callable_ref(node.func, info, fn)
+            return bool(candidates) and all(c in checking
+                                            for c in candidates)
+
+        def mark_dominated(root: int, strict: bool) -> None:
+            for bid, lines in block_lines.items():
+                if root in dom.get(bid, set()) \
+                        and not (strict and bid == root):
+                    self.lines |= lines
+
+        _COMPOUND = (ast.If, ast.While, ast.For, ast.AsyncFor, ast.Try,
+                     ast.With, ast.AsyncWith, ast.Match, ast.FunctionDef,
+                     ast.AsyncFunctionDef, ast.ClassDef)
+        for stmt in ast.walk(fn.node):
+            if isinstance(stmt, (ast.If, ast.While)):
+                if not any(is_check_call(n) for n in ast.walk(stmt.test)):
+                    continue
+                negated = isinstance(stmt.test, ast.UnaryOp) \
+                    and isinstance(stmt.test.op, ast.Not)
+                want = "false" if negated else "true"
+                for edge in cfg.edges:
+                    if edge.kind == want and edge.lineno == stmt.lineno:
+                        mark_dominated(edge.target, strict=False)
+            elif isinstance(stmt, ast.stmt) \
+                    and not isinstance(stmt, _COMPOUND):
+                if not any(is_check_call(n) for n in ast.walk(stmt)):
+                    continue
+                bid = cfg.block_of_stmt(stmt)
+                if bid is None:
+                    continue
+                mark_dominated(bid, strict=True)
+                self.lines |= {line for line
+                               in block_lines.get(bid, set())
+                               if line > stmt.lineno}
+
+    def line_checked(self, lineno: int) -> bool:
+        return lineno in self.lines
+
+
 def check_window_paths(project, enabled: Set[str]) -> List[Finding]:
-    """PROTO001: every caller chain into a window ``consume()`` must
-    pass through a ``can_send``/``can_send_data`` check (within depth
-    6), mirroring the H2_WINDOW_NEGATIVE runtime law."""
+    """PROTO001: a window ``consume()`` must be *dominated* by a
+    ``can_send``/``can_send_data`` check -- true CFG dominance inside
+    the function, composed with caller-chain pruning (a caller whose
+    call site sits inside its own checked region covers that chain;
+    depth 6), mirroring the H2_WINDOW_NEGATIVE runtime law."""
     if project is None or "PROTO001" not in enabled:
         return []
-    checked = _checking_functions(project)
+    checking = _checking_functions(project)
+    regions: dict = {}
+
+    def region_for(key) -> _CheckedRegion:
+        if key not in regions:
+            regions[key] = _CheckedRegion(
+                project, project.functions[key], checking)
+        return regions[key]
+
     findings: List[Finding] = []
     for key, call in _window_consume_sites(project):
-        if key in checked:
+        if region_for(key).line_checked(call.lineno):
             continue
         fn = project.functions[key]
         # BFS up the reverse call graph looking for an unchecked chain
-        # that dead-ends at a root (nothing above it performs the check).
-        # A caller that *is* checked dominates its chain and is pruned.
+        # that dead-ends at a root (nothing above it performs the check
+        # on the path to this call site).  A caller whose call site sits
+        # inside its checked region dominates that chain and is pruned.
         parents = {key: None}
         frontier = [(key, 0)]
         witness = None
@@ -467,8 +556,10 @@ def check_window_paths(project, enabled: Set[str]) -> List[Finding]:
             if depth >= 6:
                 continue
             for caller, lineno in callers:
-                if caller in checked or caller in parents:
+                if caller in parents:
                     continue
+                if region_for(caller).line_checked(lineno):
+                    continue  # chain dominated by the caller's check
                 parents[caller] = (current, lineno)
                 frontier.append((caller, depth + 1))
         if witness is None:
@@ -497,10 +588,164 @@ def check_window_paths(project, enabled: Set[str]) -> List[Finding]:
     return findings
 
 
+# -- DOS: slow-DoS code shapes over reachability ----------------------------
+
+#: Call names that read from a peer (a loop around one of these stalls
+#: for as long as the peer cares to dribble bytes).
+_RECV_NAME_PREFIXES = ("recv", "read", "wait", "poll", "accept")
+
+#: Identifier fragments that signal the loop is bounded (a deadline, a
+#: byte/iteration budget, or a clock comparison).
+_DOS_GUARD_TOKENS = ("timeout", "deadline", "budget", "watermark",
+                     "max", "limit", "remaining", "expires", "now")
+
+#: Event-handler naming convention: these functions receive
+#: peer-controlled arguments from the event loop.
+_HANDLER_PREFIXES = ("on_", "_on_", "handle_", "_handle_")
+
+#: Identifier fragments that signal growth of the container is bounded.
+_BOUND_TOKENS = ("max", "limit", "capacity", "watermark", "maxlen",
+                 "depth", "budget", "cap", "bound")
+
+
+def _identifiers(node: ast.AST):
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            yield child.id
+        elif isinstance(child, ast.Attribute):
+            yield child.attr
+        elif isinstance(child, ast.keyword) and child.arg:
+            yield child.arg
+
+
+def _has_token(node: ast.AST, tokens) -> bool:
+    return any(any(token in ident.lower() for token in tokens)
+               for ident in _identifiers(node))
+
+
+def _has_len_guard(fn_node) -> bool:
+    """A ``len(...)`` comparison anywhere in the function."""
+    for node in ast.walk(fn_node):
+        if isinstance(node, ast.Compare):
+            for side in [node.left] + list(node.comparators):
+                if isinstance(side, ast.Call) \
+                        and _terminal_name(side.func) == "len":
+                    return True
+    return False
+
+
+def _tainted_names(fn_node) -> Set[str]:
+    """Parameters plus locals assigned from tainted expressions
+    (fixpoint, so statement order does not matter)."""
+    args = fn_node.args
+    tainted = {a.arg for a in (args.posonlyargs + args.args
+                               + args.kwonlyargs)} - {"self"}
+    if args.vararg:
+        tainted.add(args.vararg.arg)
+    if args.kwarg:
+        tainted.add(args.kwarg.arg)
+    assigns = [node for node in ast.walk(fn_node)
+               if isinstance(node, ast.Assign)]
+    changed = True
+    while changed:
+        changed = False
+        for node in assigns:
+            uses = {n.id for n in ast.walk(node.value)
+                    if isinstance(n, ast.Name)}
+            if not (uses & tainted):
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name) \
+                        and target.id not in tainted:
+                    tainted.add(target.id)
+                    changed = True
+    return tainted
+
+
+def check_dos_paths(project, enabled: Set[str]) -> List[Finding]:
+    """DOS001/DOS002: slow-DoS shapes on peer-reachable paths.
+
+    DOS001 flags a ``while`` loop around a receive-style call inside
+    dispatch-reachable code with no timeout/deadline/budget token in
+    the loop -- the slow-read stall a peer can park forever.  DOS002
+    flags an event-reachable handler appending peer-derived input to
+    instance state with no ``len()`` comparison or bound token anywhere
+    in the function -- the unbounded-queue memory shape.
+    """
+    findings: List[Finding] = []
+    if project is None:
+        return findings
+    if "DOS001" in enabled:
+        for key in sorted(project.dispatch_reachable):
+            fn = project.functions[key]
+            for node in project._own_nodes(fn.node):
+                if not isinstance(node, ast.While):
+                    continue
+                recv_calls = [
+                    c for c in ast.walk(node)
+                    if isinstance(c, ast.Call)
+                    and (_terminal_name(c.func) or "").startswith(
+                        _RECV_NAME_PREFIXES)]
+                if not recv_calls or _has_token(node, _DOS_GUARD_TOKENS):
+                    continue
+                recv = recv_calls[0]
+                trace = tuple(project.dispatch_reachable[key]) + (
+                    f"{fn.path}:{recv.lineno}: the loop body calls "
+                    f"{_terminal_name(recv.func)}() with no "
+                    "timeout/deadline in scope",)
+                findings.append(Finding(
+                    path=fn.path, line=node.lineno, col=node.col_offset,
+                    code="DOS001",
+                    message=(f"peer-driven receive loop in "
+                             f"{fn.qualname}() has no timeout, deadline, "
+                             "or budget; a slow peer stalls the "
+                             "dispatcher indefinitely"),
+                    trace=trace, law="DOS_SLOW_READ"))
+    if "DOS002" in enabled:
+        for key in sorted(project.event_reachable):
+            fn = project.functions[key]
+            if not fn.name.startswith(_HANDLER_PREFIXES):
+                continue
+            if _has_len_guard(fn.node) or _has_token(fn.node,
+                                                     _BOUND_TOKENS):
+                continue
+            tainted = _tainted_names(fn.node)
+            if not tainted:
+                continue
+            for node in project._own_nodes(fn.node):
+                if not (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr in ("append", "appendleft")):
+                    continue
+                recv = _dotted_name(node.func.value)
+                if not recv or not recv.startswith("self."):
+                    continue
+                feeds = any(isinstance(n, ast.Name) and n.id in tainted
+                            for arg in node.args
+                            for n in ast.walk(arg))
+                if not feeds:
+                    continue
+                trace = tuple(project.event_reachable[key]) + (
+                    f"{fn.path}:{node.lineno}: peer-derived value "
+                    f"appended to {recv} with no size guard in "
+                    f"{fn.qualname}()",)
+                findings.append(Finding(
+                    path=fn.path, line=node.lineno, col=node.col_offset,
+                    code="DOS002",
+                    message=(f"unbounded append to {recv} in "
+                             f"event-reachable handler {fn.qualname}(); "
+                             "peer input grows instance state with no "
+                             "len()/limit guard"),
+                    trace=trace, law="DOS_UNBOUNDED_QUEUE"))
+    return findings
+
+
 def check_module_all(ctx: ModuleContext, enabled: Set[str],
                      project=None) -> List[Finding]:
-    """Run DET + SIM/CACHE/PROTO002/PERF over one module (PROTO001 is
-    project-level; see :func:`check_window_paths`)."""
+    """Run DET + SIM/CACHE/PROTO002/PERF over one module (PROTO001,
+    RES, and DOS are project-level; see :func:`check_window_paths`,
+    :func:`repro.lint.typestate.check_lifecycles`, and
+    :func:`check_dos_paths`)."""
     visitor = FamilyVisitor(ctx, enabled, project=project)
     visitor.visit(ctx.tree)
     findings = visitor.findings + check_layering(ctx, enabled)

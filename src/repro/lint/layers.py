@@ -38,7 +38,11 @@ PACKAGE_LAYERS = (
     ("repro.faults", "analysis"),
     ("repro.invariants", "analysis"),
     ("repro.experiments", "experiments"),
-    ("repro.bench", "experiments"),
+    # The bench suite is measurement tooling over the whole stack --
+    # its workloads drive everything from the simulator heap up to the
+    # analyzer's own CFG/dataflow sweep -- so it sits with the CLI and
+    # the linter at the top, not with the experiment artefacts.
+    ("repro.bench", "interface"),
     ("repro.lint", "interface"),
     ("repro.cli", "interface"),
     ("repro.__main__", "interface"),

@@ -152,6 +152,16 @@ class Project:
         self.cell_reachable: Dict[FuncKey, List[str]] = {}
         self._close_reachable(self.cell_functions, self.cell_reachable,
                               "cell function")
+        # Server dispatch reachability: the closure of functions the
+        # frame/packet dispatchers can enter with peer-controlled input
+        # (DOS rules fire only inside it).
+        dispatch_seeds = {
+            key for key, fn in self.functions.items()
+            if fn.name.startswith("handle_")
+            or fn.name in ("dispatch", "_dispatch")}
+        self.dispatch_reachable: Dict[FuncKey, List[str]] = {}
+        self._close_reachable(dispatch_seeds, self.dispatch_reachable,
+                              "peer-driven dispatch enters")
         self.reverse_calls: Dict[FuncKey, List[Tuple[FuncKey, int]]] = {}
         for key, info in self.functions.items():
             for candidates, lineno in info.calls:
@@ -298,6 +308,14 @@ class Project:
         if terminal in ("schedule", "schedule_at"):
             # schedule(delay, callback, *args) / schedule_at(when, cb, ...)
             for arg in node.args[1:2]:
+                for ref in self._resolve_callable_ref(arg, info, fn):
+                    self._event_seeds.add(ref)
+        elif terminal == "listen":
+            # Accept callbacks are registered positionally and invoked
+            # by the stack on inbound connections: TcpStack.listen(port,
+            # on_accept) / QuicEndpoint.listen(on_accept).  Seed every
+            # resolvable argument.
+            for arg in node.args:
                 for ref in self._resolve_callable_ref(arg, info, fn):
                     self._event_seeds.add(ref)
         for kw in node.keywords:

@@ -61,6 +61,21 @@ RULES = {
                "(O(n) per event; use collections.deque.popleft())",
     "PERF002": "linear 'in' membership test on a list inside an "
                "event-loop-reachable hot path (use a set or dict keys)",
+    "RES001": "stream handle opened but not closed/reset on some CFG "
+              "path (typestate acquire->use*->release; static law "
+              "H2_STREAM_LEAK)",
+    "RES002": "flow-control credit consumed but not replenished on an "
+              "exception path, in a function that replenishes on the "
+              "normal path (static law H2_CREDIT_LEAK)",
+    "RES003": "probe/frame_probe hook armed but not disarmed on every "
+              "path, in a function that disarms on some path (static "
+              "law PROBE_LIFECYCLE; autofix inserts the disarm)",
+    "DOS001": "peer-driven receive loop with no timeout/deadline/budget "
+              "reachable from server dispatch (slow-read DoS shape; "
+              "static law DOS_SLOW_READ)",
+    "DOS002": "unbounded append of peer-derived input to instance state "
+              "in an event-reachable handler (no len()/limit guard; "
+              "static law DOS_UNBOUNDED_QUEUE)",
 }
 
 #: Modules allowed to read the wall clock: runner telemetry, the CLI,

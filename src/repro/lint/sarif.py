@@ -1,0 +1,119 @@
+"""SARIF 2.1.0 export (``repro lint --sarif out.sarif``).
+
+One ``run`` per invocation: the tool driver advertises every rule in
+the registry (so viewers can show descriptions for clean runs too),
+and each finding becomes a ``result`` with a physical location.  The
+CFG-path evidence (``trace`` hops, ``file:line: note`` strings) maps
+onto a SARIF ``codeFlow`` so IDE SARIF viewers step through the branch
+sequence from the acquire/origin to the flagged site.
+
+The output targets the published 2.1.0 schema; the round-trip test
+pins the fields CI consumers (GitHub code scanning) require:
+``version``, ``$schema``, ``runs[].tool.driver.{name,rules}``,
+``runs[].results[].{ruleId,message,locations}``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, List
+
+from repro.lint.findings import Finding, LintReport
+from repro.lint.rules import RULES
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+#: ``path:line: note`` -- the shape every trace hop is rendered in.
+_HOP = re.compile(r"^(?P<path>.*):(?P<line>\d+): (?P<note>.*)$")
+
+
+def _artifact_uri(path: str) -> str:
+    return path.replace("\\", "/")
+
+
+def _location(path: str, line: int, col: int,
+              message: str = "") -> Dict[str, object]:
+    physical: Dict[str, object] = {
+        "artifactLocation": {"uri": _artifact_uri(path)},
+        "region": {"startLine": max(line, 1),
+                   "startColumn": max(col, 0) + 1},
+    }
+    location: Dict[str, object] = {"physicalLocation": physical}
+    if message:
+        location["message"] = {"text": message}
+    return location
+
+
+def _code_flow(finding: Finding) -> Dict[str, object]:
+    locations: List[Dict[str, object]] = []
+    for hop in finding.trace:
+        match = _HOP.match(hop)
+        if match:
+            locations.append({"location": _location(
+                match.group("path"), int(match.group("line")), 0,
+                match.group("note"))})
+        else:
+            locations.append({"location": _location(
+                finding.path, finding.line, finding.col, hop)})
+    return {"threadFlows": [{"locations": locations}]}
+
+
+def _result(finding: Finding) -> Dict[str, object]:
+    text = finding.message
+    if finding.law:
+        text += f" [law: {finding.law}]"
+    result: Dict[str, object] = {
+        "ruleId": finding.code,
+        "level": "warning" if finding.code.startswith("W") else "error",
+        "message": {"text": text},
+        "locations": [_location(finding.path, finding.line, finding.col)],
+    }
+    if finding.trace:
+        result["codeFlows"] = [_code_flow(finding)]
+    if finding.law:
+        result["properties"] = {"law": finding.law}
+    return result
+
+
+def _driver_rules(report: LintReport) -> List[Dict[str, object]]:
+    codes = dict(RULES)
+    for finding in report.findings:
+        codes.setdefault(finding.code, "(engine diagnostic)")
+    return [{"id": code,
+             "shortDescription": {"text": codes[code].split(";")[0]},
+             "fullDescription": {"text": codes[code]}}
+            for code in sorted(codes)]
+
+
+def to_sarif(report: LintReport) -> Dict[str, object]:
+    """The full SARIF 2.1.0 document for one lint run."""
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro-lint",
+                "informationUri": "docs/LINTING.md",
+                "rules": _driver_rules(report),
+            }},
+            "results": [_result(f) for f in report.findings],
+            "properties": {
+                "filesChecked": report.files_checked,
+                "baselined": report.baselined,
+                "staleBaseline": report.stale_baseline,
+            },
+        }],
+    }
+
+
+def write_sarif(path: str, report: LintReport) -> None:
+    """Serialize ``to_sarif(report)`` to ``path`` (stable key order)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_sarif(report), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+__all__ = ["SARIF_SCHEMA", "SARIF_VERSION", "to_sarif", "write_sarif"]

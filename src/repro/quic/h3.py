@@ -49,6 +49,9 @@ class H3ServerConfig:
     processing_delay_mean_s: float = 0.0008
     request_header_bytes: int = 64
     response_header_bytes: int = 56
+    #: Accepted-connection cap: further accepts are refused (slow-DoS
+    #: guard; generous enough that legitimate workloads never hit it).
+    max_connections: int = 256
 
 
 class H3Server:
@@ -70,6 +73,8 @@ class H3Server:
         self._rng = sim.rng("h3-server")
 
     def _on_accept(self, conn: QuicConnection) -> None:
+        if len(self.connections) >= self.config.max_connections:
+            return  # connection flood: refuse service, keep the rest alive
         self.connections.append(conn)
         conn.on_stream_frame = lambda frame, c=conn: self._on_frame(c, frame)
         conn.on_reset_stream = lambda sid: self._on_reset(sid)

@@ -1,0 +1,468 @@
+"""Flow-sensitive core: CFG shapes, dataflow solver, typestate rules.
+
+Three layers under test:
+
+* :mod:`repro.lint.cfg` -- golden-shape tests pin the exact edge list
+  for each structured-statement lowering (branch, loops, try/finally,
+  with, match).  The shapes are load-bearing: PROTO001 dominance and
+  the RES/DOS path searches consume them.
+* :mod:`repro.lint.dataflow` -- dominators on a diamond, and solver
+  convergence on a loop-carried definition (the classic fixpoint that
+  a single forward pass gets wrong).
+* :mod:`repro.lint.typestate` / the DOS checks -- one fixture per rule
+  (RES001/RES002/RES003, DOS001/DOS002) asserting the exact code, law,
+  and CFG-path evidence.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.lint import lint_source
+from repro.lint.cfg import build_cfg, header_nodes, may_raise
+from repro.lint.dataflow import (
+    dominates,
+    dominators,
+    immediate_dominators,
+    liveness,
+    reaching_definitions,
+)
+
+
+def cfg_for(source: str):
+    tree = ast.parse(textwrap.dedent(source))
+    return tree.body[0], build_cfg(tree.body[0])
+
+
+def shape(source: str):
+    """Render every edge as ``src->dst kind`` (synthetic sinks named)."""
+    _fn, cfg = cfg_for(source)
+    names = {cfg.exit: "exit", cfg.error: "error"}
+
+    def nm(bid: int) -> str:
+        return names.get(bid, f"b{bid}")
+
+    return [f"{nm(e.source)}->{nm(e.target)} {e.kind}"
+            for e in sorted(cfg.edges,
+                            key=lambda e: (e.source, e.target, e.kind))]
+
+
+def findings_for(source: str, **kwargs):
+    return lint_source(textwrap.dedent(source), "repro.simnet.fixture",
+                       **kwargs)
+
+
+# -- CFG golden shapes --------------------------------------------------------
+
+class TestCfgShapes:
+    def test_branch_diamond(self):
+        assert shape("""
+            def f(x):
+                if x:
+                    a()
+                else:
+                    b()
+                c()
+        """) == [
+            "b0->b1 true",
+            "b0->b2 false",
+            "b1->error raise",
+            "b1->b3 next",
+            "b2->error raise",
+            "b2->b3 next",
+            "b3->error raise",
+            "b3->exit return",
+        ]
+
+    def test_for_loop_with_break(self):
+        assert shape("""
+            def f(items):
+                for item in items:
+                    if item:
+                        break
+                return items
+        """) == [
+            "b0->b1 next",
+            "b1->b2 loop-exit",
+            "b1->b3 loop",
+            "b2->exit return",
+            "b3->b4 true",
+            "b3->b6 false",
+            "b4->b2 break",
+            "b6->b7 next",
+            "b7->b1 back",
+        ]
+
+    def test_while_loop(self):
+        assert shape("""
+            def f(n):
+                while n > 0:
+                    n -= 1
+                return n
+        """) == [
+            "b0->b1 next",
+            "b1->b2 false",
+            "b1->b3 true",
+            "b2->exit return",
+            "b3->b1 back",
+        ]
+
+    def test_try_except_finally(self):
+        # b1 = handler dispatch, b2 = try body, b3 = finally, b4 = the
+        # ValueError handler.  The dispatch escape (no handler matches)
+        # routes *through* the finally block, which carries both its own
+        # sealed raise edge and the propagation continuation.
+        assert shape("""
+            def f(x):
+                try:
+                    risky(x)
+                except ValueError:
+                    handle(x)
+                finally:
+                    cleanup(x)
+                return x
+        """) == [
+            "b0->b2 next",
+            "b1->b3 except",
+            "b1->b4 except",
+            "b2->b1 except",
+            "b2->b3 next",
+            "b3->error raise",
+            "b3->error raise",
+            "b3->b5 next",
+            "b4->error raise",
+            "b4->b3 next",
+            "b5->exit return",
+        ]
+
+    def test_with_block(self):
+        assert shape("""
+            def f(x):
+                with lock(x) as guard:
+                    body(guard)
+                return x
+        """) == [
+            "b0->error raise",
+            "b0->b1 with",
+            "b1->error raise",
+            "b1->b2 next",
+            "b2->exit return",
+        ]
+
+    def test_match_cases(self):
+        # A wildcard arm means no case-else fall-through edge.
+        assert shape("""
+            def f(cmd):
+                match cmd:
+                    case "open":
+                        a()
+                    case "close":
+                        b()
+                    case _:
+                        c()
+        """) == [
+            "b0->b2 case",
+            "b0->b3 case",
+            "b0->b4 case",
+            "b1->exit return",
+            "b2->error raise",
+            "b2->b1 next",
+            "b3->error raise",
+            "b3->b1 next",
+            "b4->error raise",
+            "b4->b1 next",
+        ]
+
+    def test_match_without_wildcard_keeps_fallthrough(self):
+        edges = shape("""
+            def f(cmd):
+                match cmd:
+                    case "open":
+                        a()
+        """)
+        assert "b0->b1 case-else" in edges
+
+    def test_headers_do_not_inherit_body_raises(self):
+        # `if ok:` evaluates only the test in its own block; the call in
+        # the body raises from the body's block.
+        stmt = ast.parse("if ok:\n    risky()").body[0]
+        assert not may_raise(stmt)
+        assert [type(n).__name__ for n in header_nodes(stmt)] == ["Name"]
+
+
+# -- dataflow -----------------------------------------------------------------
+
+class TestDataflow:
+    DIAMOND = """
+        def f(x):
+            if x:
+                a()
+            else:
+                b()
+            c()
+    """
+
+    def test_dominators_on_a_diamond(self):
+        _fn, cfg = cfg_for(self.DIAMOND)
+        dom = dominators(cfg)
+        # Entry dominates everything; neither arm dominates the join.
+        for bid in (1, 2, 3):
+            assert dominates(dom, 0, bid)
+        assert not dominates(dom, 1, 3)
+        assert not dominates(dom, 2, 3)
+
+    def test_immediate_dominator_of_the_join_is_the_branch(self):
+        _fn, cfg = cfg_for(self.DIAMOND)
+        idom = immediate_dominators(cfg)
+        assert idom[3] == 0
+        assert idom[cfg.entry] is None
+
+    def test_reaching_definitions_converge_on_loop_carried_def(self):
+        # `total` reaches the return both from the initialisation and
+        # from the loop body via the back edge -- the fixpoint a single
+        # forward pass misses.
+        fn, cfg = cfg_for("""
+            def f(items):
+                total = 0
+                for item in items:
+                    total = total + item
+                return total
+        """)
+        return_stmt = fn.body[-1]
+        return_bid = cfg.block_of_stmt(return_stmt)
+        assert return_bid is not None
+        facts = reaching_definitions(cfg, fn)
+        totals = {line for name, line in facts[return_bid]
+                  if name == "total"}
+        assert totals == {3, 5}
+        # The parameter is a definition on the `def` line.
+        assert ("items", 2) in facts[return_bid]
+
+    def test_liveness_keeps_names_used_after_the_loop(self):
+        fn, cfg = cfg_for("""
+            def f(items):
+                total = 0
+                for item in items:
+                    total = total + item
+                return total
+        """)
+        live = liveness(cfg)
+        first_bid = cfg.block_of_stmt(fn.body[0])
+        assert "total" in live[first_bid]
+        dead_fn, dead_cfg = cfg_for("""
+            def f(items):
+                total = 0
+                return items
+        """)
+        dead_bid = dead_cfg.block_of_stmt(dead_fn.body[0])
+        assert "total" not in liveness(dead_cfg)[dead_bid]
+
+
+# -- RES: resource lifecycles -------------------------------------------------
+
+class TestRes001:
+    def test_bad_stream_leaked_on_one_branch(self):
+        findings = findings_for("""
+            class Mux:
+                def serve(self, ok):
+                    stream = self.conn.open_stream()
+                    if ok:
+                        stream.close()
+                    else:
+                        self.log("refused")
+        """, select=["RES001"])
+        assert [f.code for f in findings] == ["RES001"]
+        assert findings[0].law == "H2_STREAM_LEAK"
+        assert findings[0].line == 4
+        trace = "\n".join(findings[0].trace)
+        assert "branch `if ok:` is not taken" in trace
+        assert "still held" in trace
+
+    def test_good_released_via_interprocedural_helper(self):
+        assert not findings_for("""
+            class Mux:
+                def serve(self, ok):
+                    stream = self.conn.open_stream()
+                    if ok:
+                        stream.close()
+                    else:
+                        self._teardown(stream)
+
+                def _teardown(self, s):
+                    s.reset()
+        """, select=["RES001"])
+
+    def test_good_ownership_transfer_is_not_a_leak(self):
+        # No release site anywhere: the stream is registered and kept.
+        assert not findings_for("""
+            class Mux:
+                def serve(self):
+                    stream = self.conn.open_stream()
+                    self.streams.append(stream)
+        """, select=["RES001"])
+
+
+class TestRes002:
+    def test_bad_credit_leaks_on_the_exception_path(self):
+        findings = findings_for("""
+            class Flow:
+                def push(self, nbytes):
+                    self.send_window.consume(nbytes)
+                    self.transmit(nbytes)
+                    self.send_window.replenish(nbytes)
+        """, select=["RES002"])
+        assert [f.code for f in findings] == ["RES002"]
+        assert findings[0].law == "H2_CREDIT_LEAK"
+        assert "exception path" in findings[0].message
+        assert any("exception" in hop for hop in findings[0].trace)
+
+    def test_good_replenish_in_finally_covers_the_raise(self):
+        assert not findings_for("""
+            class Flow:
+                def push(self, nbytes):
+                    self.send_window.consume(nbytes)
+                    try:
+                        self.transmit(nbytes)
+                    finally:
+                        self.send_window.replenish(nbytes)
+        """, select=["RES002"])
+
+    def test_good_permanent_consume_is_legal(self):
+        # Credit legally returns via the peer's WINDOW_UPDATE; no
+        # replenish in the function means no release intent.
+        assert not findings_for("""
+            class Flow:
+                def push(self, nbytes):
+                    self.send_window.consume(nbytes)
+                    self.transmit(nbytes)
+        """, select=["RES002"])
+
+
+class TestRes003:
+    BAD = """
+        class Suite:
+            def detach(self, flush):
+                self.sim.probe = self._record
+                if flush:
+                    self.flush()
+                    return
+                self.sim.probe = None
+    """
+
+    def test_bad_probe_left_armed_on_the_early_return(self):
+        findings = findings_for(self.BAD, select=["RES003"])
+        assert [f.code for f in findings] == ["RES003"]
+        assert findings[0].law == "PROBE_LIFECYCLE"
+        trace = "\n".join(findings[0].trace)
+        assert "branch `if flush:` is taken" in trace
+        assert "returns with 'self.sim.probe' still held" in trace
+
+    def test_fix_hint_targets_the_leaking_return(self):
+        findings = findings_for(self.BAD, select=["RES003"])
+        assert findings[0].fix_hint == (
+            "insert_before", "7", "self.sim.probe = None")
+
+    def test_good_disarm_in_finally_covers_every_path(self):
+        # `self.flush()` may raise while the probe is armed, so the
+        # disarm must sit in a finally to cover the exception edge too.
+        assert not findings_for("""
+            class Suite:
+                def detach(self, flush):
+                    self.sim.probe = self._record
+                    try:
+                        if flush:
+                            self.flush()
+                    finally:
+                        self.sim.probe = None
+        """, select=["RES003"])
+
+
+# -- DOS: peer-driven exhaustion ----------------------------------------------
+
+class TestDos001:
+    def test_bad_receive_loop_without_deadline(self):
+        findings = findings_for("""
+            class Server:
+                def handle_headers(self, frame):
+                    self.drain(frame)
+
+                def drain(self, frame):
+                    while True:
+                        chunk = self.sock.recv_bytes()
+                        if not chunk:
+                            break
+        """, select=["DOS001"])
+        assert [f.code for f in findings] == ["DOS001"]
+        assert findings[0].law == "DOS_SLOW_READ"
+        assert findings[0].line == 7
+        trace = "\n".join(findings[0].trace)
+        assert "peer-driven dispatch enters Server.handle_headers()" \
+            in trace
+        assert "recv_bytes() with no timeout/deadline" in trace
+
+    def test_good_loop_with_deadline(self):
+        assert not findings_for("""
+            class Server:
+                def handle_headers(self, frame):
+                    self.drain(frame)
+
+                def drain(self, frame):
+                    deadline = self.sim.now + 5.0
+                    while self.sim.now < deadline:
+                        chunk = self.sock.recv_bytes()
+                        if not chunk:
+                            break
+        """, select=["DOS001"])
+
+    def test_good_loop_not_dispatch_reachable(self):
+        # Same shape, but nothing routes peer input into it.
+        assert not findings_for("""
+            class Tool:
+                def drain(self, frame):
+                    while True:
+                        chunk = self.sock.recv_bytes()
+                        if not chunk:
+                            break
+        """, select=["DOS001"])
+
+
+class TestDos002:
+    def test_bad_unbounded_append_in_event_handler(self):
+        findings = findings_for("""
+            class Server:
+                def __init__(self):
+                    self.sim.schedule(0.0, self.on_packet)
+
+                def on_packet(self, pkt):
+                    self.backlog.append(pkt)
+        """, select=["DOS002"])
+        assert [f.code for f in findings] == ["DOS002"]
+        assert findings[0].law == "DOS_UNBOUNDED_QUEUE"
+        assert findings[0].line == 7
+        trace = "\n".join(findings[0].trace)
+        assert "event loop enters Server.on_packet()" in trace
+        assert "appended to self.backlog with no size guard" in trace
+
+    def test_good_len_guard_bounds_the_queue(self):
+        assert not findings_for("""
+            class Server:
+                def __init__(self):
+                    self.sim.schedule(0.0, self.on_packet)
+
+                def on_packet(self, pkt):
+                    if len(self.backlog) >= self.max_depth:
+                        return
+                    self.backlog.append(pkt)
+        """, select=["DOS002"])
+
+    def test_good_append_of_non_peer_data(self):
+        # The appended value is not derived from the handler's input.
+        assert not findings_for("""
+            class Server:
+                def __init__(self):
+                    self.sim.schedule(0.0, self.on_packet)
+
+                def on_packet(self, pkt):
+                    self.ticks.append(self.sim.now)
+        """, select=["DOS002"])

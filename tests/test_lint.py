@@ -48,6 +48,7 @@ def test_all_rule_families_are_registered():
         "DET001", "DET002", "DET003", "DET004", "DET005", "DET006",
         "SIM001", "SIM002", "CACHE001", "CACHE002",
         "PROTO001", "PROTO002", "PERF001", "PERF002",
+        "RES001", "RES002", "RES003", "DOS001", "DOS002",
     }
     for code in ALL_CODES:
         assert RULES[code]
@@ -217,6 +218,12 @@ class TestDet004:
     def test_good_unmapped_modules_are_exempt(self):
         assert codes("import os\n", module="not_in_the_map") == []
 
+    def test_good_bench_is_interface_tooling(self):
+        # The bench suite measures the whole stack, analyzer included,
+        # so it sits in the interface layer and may import the linter.
+        good = "from repro.lint.engine import lint_paths\n"
+        assert codes(good, module="repro.bench.fixture") == []
+
 
 # -- DET005: shared mutable state --------------------------------------------
 
@@ -369,7 +376,9 @@ def test_lint_paths_reports_over_files(tmp_path):
     payload = report.to_dict()
     assert payload["version"] == 1
     assert payload["summary"] == {"total": 1, "by_code": {"DET002": 1},
-                                  "baselined": 0, "stale_baseline": 0}
+                                  "baselined": 0, "stale_baseline": 0,
+                                  "stale_entries": [],
+                                  "pruned_baseline": 0}
     finding = payload["findings"][0]
     # trace/law are omitted when empty so the schema is stable for
     # intraprocedural findings.
@@ -699,6 +708,42 @@ class TestProto001:
         """
         assert codes(good) == []
 
+    def test_bad_consume_on_the_unchecked_else_branch(self):
+        # Regression for the pre-CFG engine's false negative: the old
+        # reverse-BFS marked a whole function "checked" as soon as it
+        # contained a can_send() call anywhere, so a consume() sitting
+        # on the *else* branch of that very check sailed through.  True
+        # dominance catches it: the else block is not dominated by the
+        # check's true-successor.
+        bad = """
+            class Conn:
+                def send(self, window, nbytes):
+                    if window.can_send(nbytes):
+                        self.transmit(window, nbytes)
+                    else:
+                        window.consume(nbytes)
+
+                def transmit(self, window, nbytes):
+                    window.consume(nbytes)
+        """
+        findings = findings_for(bad)
+        assert [f.code for f in findings] == ["PROTO001"]
+        assert findings[0].law == "H2_WINDOW_NEGATIVE"
+        # The flagged consume is the else-branch one (line 7 of the
+        # dedented fixture), not the dominated one inside transmit().
+        assert findings[0].line == 7
+
+    def test_good_consume_on_the_checked_then_branch(self):
+        good = """
+            class Conn:
+                def send(self, window, nbytes):
+                    if window.can_send(nbytes):
+                        window.consume(nbytes)
+                    else:
+                        self.refuse()
+        """
+        assert codes(good) == []
+
 
 class TestProto002:
     def test_bad_data_frame_after_reset_transition(self):
@@ -944,6 +989,45 @@ class TestAutofix:
         assert proc.returncode == 0, proc.stdout + proc.stderr
         assert "sorted(s)" in fixture.read_text()
 
+    def test_res003_disarm_insertion_round_trips(self, tmp_path):
+        from repro.lint.autofix import fix_paths
+        fixture = tmp_path / "probe_leak.py"
+        fixture.write_text(textwrap.dedent("""
+            class Suite:
+                def detach(self, flush):
+                    self.sim.probe = self._record
+                    if flush:
+                        return
+                    self.sim.probe = None
+        """))
+        fixed = fix_paths([str(fixture)], select=["RES003"])
+        assert sum(fixed.values()) == 1
+        text = fixture.read_text()
+        # The disarm lands before the leaking return, at its indent.
+        assert "            self.sim.probe = None\n" \
+               "            return\n" in text
+        assert lint_paths([str(fixture)],
+                          select=["RES003"]).findings == []
+
+    def test_res003_exception_exit_has_no_mechanical_fix(self, tmp_path):
+        # A leak through an exception edge needs a try/finally; the
+        # rule emits no fix_hint and --fix must leave the file alone.
+        from repro.lint.autofix import fix_paths
+        fixture = tmp_path / "probe_leak.py"
+        original = textwrap.dedent("""
+            class Suite:
+                def detach(self):
+                    self.sim.probe = self._record
+                    self.flush()
+                    self.sim.probe = None
+        """)
+        fixture.write_text(original)
+        report = lint_paths([str(fixture)], select=["RES003"])
+        assert [f.code for f in report.findings] == ["RES003"]
+        assert report.findings[0].fix_hint == ()
+        assert fix_paths([str(fixture)], select=["RES003"]) == {}
+        assert fixture.read_text() == original
+
 
 # -- baseline workflow --------------------------------------------------------
 
@@ -995,6 +1079,137 @@ class TestBaseline:
              "--baseline", str(tmp_path / "nope.json")],
             capture_output=True, text=True, env=env)
         assert proc.returncode == 2
+
+    def test_prune_baseline_drops_stale_entries(self, tmp_path):
+        fixture = tmp_path / "legacy.py"
+        fixture.write_text("registry = {}\nother = {}\n")
+        baseline = tmp_path / "baseline.json"
+        env = dict(os.environ, PYTHONPATH=REPO_SRC)
+        subprocess.run(
+            [sys.executable, "-m", "repro.lint", str(fixture),
+             "--write-baseline", str(baseline)],
+            capture_output=True, text=True, env=env)
+        # Fix one of the two baselined findings; its entry goes stale.
+        fixture.write_text("registry = {}\nother = None\n")
+        report = lint_paths([str(fixture)], baseline_path=str(baseline))
+        assert report.stale_baseline == 1
+        assert len(report.stale_entries) == 1
+        path, code, context, count = report.stale_entries[0]
+        assert (code, context, count) == ("DET005", "other = {}", 1)
+
+        report = lint_paths([str(fixture)], baseline_path=str(baseline),
+                            prune_baseline=True)
+        assert report.pruned_baseline == 1
+        payload = json.loads(baseline.read_text())
+        assert [e["context"] for e in payload["entries"]] \
+            == ["registry = {}"]
+        # The pruned file still absorbs the surviving finding.
+        report = lint_paths([str(fixture)], baseline_path=str(baseline))
+        assert report.findings == []
+        assert report.baselined == 1
+        assert report.stale_baseline == 0
+
+    def test_prune_without_baseline_is_a_usage_error(self, tmp_path):
+        env = dict(os.environ, PYTHONPATH=REPO_SRC)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", str(tmp_path),
+             "--prune-baseline"],
+            capture_output=True, text=True, env=env)
+        assert proc.returncode == 2
+        assert "--prune-baseline requires --baseline" in proc.stderr
+
+    def test_stats_names_stale_entries(self, tmp_path):
+        fixture = tmp_path / "legacy.py"
+        fixture.write_text("registry = {}\n")
+        baseline = tmp_path / "baseline.json"
+        env = dict(os.environ, PYTHONPATH=REPO_SRC)
+        subprocess.run(
+            [sys.executable, "-m", "repro.lint", str(fixture),
+             "--write-baseline", str(baseline)],
+            capture_output=True, text=True, env=env)
+        fixture.write_text("registry = None\n")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", str(fixture),
+             "--baseline", str(baseline), "--stats"],
+            capture_output=True, text=True, env=env)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "stale: " in proc.stdout
+        assert "'registry = {}'" in proc.stdout
+
+
+# -- SARIF export -------------------------------------------------------------
+
+class TestSarif:
+    def test_round_trip_pins_the_scanning_contract(self, tmp_path):
+        from repro.lint.sarif import SARIF_VERSION, to_sarif
+        fixture = tmp_path / "bad.py"
+        fixture.write_text("import time\n\n\ndef f():\n"
+                           "    return time.time()\n")
+        report = lint_paths([str(fixture)])
+        doc = json.loads(json.dumps(to_sarif(report), sort_keys=True))
+        assert doc["version"] == SARIF_VERSION
+        assert doc["$schema"].endswith("sarif-schema-2.1.0.json")
+        (run,) = doc["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        rule_ids = {rule["id"] for rule in driver["rules"]}
+        assert set(ALL_CODES) <= rule_ids
+        (result,) = run["results"]
+        assert result["ruleId"] == "DET002"
+        assert result["ruleId"] in rule_ids
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region == {"startLine": 5, "startColumn": 12}
+        uri = result["locations"][0]["physicalLocation"][
+            "artifactLocation"]["uri"]
+        assert uri.endswith("bad.py")
+
+    def test_trace_becomes_a_code_flow(self):
+        from repro.lint.sarif import to_sarif
+        from repro.lint.findings import LintReport
+        findings = findings_for("""
+            class Suite:
+                def detach(self, flush):
+                    self.sim.probe = self._record
+                    if flush:
+                        return
+                    self.sim.probe = None
+        """, select=["RES003"])
+        doc = to_sarif(LintReport(findings=findings, files_checked=1))
+        (result,) = doc["runs"][0]["results"]
+        locations = result["codeFlows"][0]["threadFlows"][0]["locations"]
+        assert len(locations) == len(findings[0].trace)
+        notes = [loc["location"]["message"]["text"] for loc in locations]
+        assert any("branch `if flush:` is taken" in n for n in notes)
+        assert result["properties"]["law"] == "PROBE_LIFECYCLE"
+
+    def test_cli_sarif_flag_writes_the_file(self, tmp_path):
+        fixture = tmp_path / "bad.py"
+        fixture.write_text("import time\n\n\ndef f():\n"
+                           "    return time.time()\n")
+        out = tmp_path / "out.sarif"
+        env = dict(os.environ, PYTHONPATH=REPO_SRC)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", str(fixture),
+             "--sarif", str(out)],
+            capture_output=True, text=True, env=env)
+        assert proc.returncode == 1
+        doc = json.loads(out.read_text())
+        assert [r["ruleId"] for r in doc["runs"][0]["results"]] \
+            == ["DET002"]
+
+    def test_clean_run_still_writes_a_valid_document(self, tmp_path):
+        fixture = tmp_path / "clean.py"
+        fixture.write_text("def f(xs):\n    return sorted(set(xs))\n")
+        out = tmp_path / "out.sarif"
+        env = dict(os.environ, PYTHONPATH=REPO_SRC)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", str(fixture),
+             "--sarif", str(out)],
+            capture_output=True, text=True, env=env)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        doc = json.loads(out.read_text())
+        assert doc["runs"][0]["results"] == []
+        assert doc["runs"][0]["tool"]["driver"]["rules"]
 
 
 # -- zero-argument invocation -------------------------------------------------
