@@ -136,6 +136,15 @@ def compare_snapshots(old: Dict[str, BenchSnapshot],
             deltas.append(Delta(topic, metric, o, n, _change(o, n),
                                 "advisory"))
 
+        # Workload-specific aux metrics (e.g. runner_dispatch's per-cell
+        # overheads) shared by both sides: advisory, like memory -- the
+        # policy gates only on the named strict/time metrics above.
+        handled = {"events", "repeats", *TIME_METRICS, *ADVISORY_METRICS}
+        for metric in sorted(set(a.metrics) & set(b.metrics) - handled):
+            o, n = a.metrics[metric], b.metrics[metric]
+            deltas.append(Delta(topic, metric, o, n, _change(o, n),
+                                "advisory"))
+
     return deltas, problems, exit_code
 
 

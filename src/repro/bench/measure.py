@@ -25,7 +25,7 @@ import platform
 import sys
 import time
 import tracemalloc
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict
 
 try:
@@ -45,6 +45,20 @@ class Measurement:
     allocated_blocks: int
     peak_rss_kb: float
     repeats: int
+    #: Workload-reported auxiliary metrics (e.g. per-cell dispatch
+    #: overhead), best (minimum) value per key across the timed
+    #: repeats.  Merged into the snapshot's metrics; compare treats
+    #: them as advisory.
+    aux: Dict[str, float] = field(default_factory=dict)
+
+
+def _split(outcome) -> "tuple":
+    """A workload returns its event count, optionally with an aux
+    metrics dict: ``int`` or ``(int, {name: float})``."""
+    if isinstance(outcome, tuple):
+        count, aux = outcome
+        return int(count), dict(aux)
+    return int(outcome), {}
 
 
 def measure(run: Callable[[], int], repeats: int = 3) -> Measurement:
@@ -55,10 +69,11 @@ def measure(run: Callable[[], int], repeats: int = 3) -> Measurement:
 
     best = float("inf")
     events = None
+    aux: Dict[str, float] = {}
     for _ in range(repeats):
         gc.collect()
         start = time.perf_counter()
-        count = run()
+        count, run_aux = _split(run())
         elapsed = time.perf_counter() - start
         if events is None:
             events = count
@@ -66,6 +81,8 @@ def measure(run: Callable[[], int], repeats: int = 3) -> Measurement:
             raise RuntimeError(
                 f"non-deterministic workload: {count} events vs {events} "
                 "on an earlier repeat")
+        for name, value in run_aux.items():
+            aux[name] = min(aux.get(name, float("inf")), float(value))
         best = min(best, elapsed)
     assert events is not None
 
@@ -73,7 +90,7 @@ def measure(run: Callable[[], int], repeats: int = 3) -> Measurement:
     blocks_before = sys.getallocatedblocks()
     tracemalloc.start()
     try:
-        alloc_count = run()
+        alloc_count, _ = _split(run())
         _, peak_traced = tracemalloc.get_traced_memory()
     finally:
         tracemalloc.stop()
@@ -98,6 +115,7 @@ def measure(run: Callable[[], int], repeats: int = 3) -> Measurement:
         allocated_blocks=max(0, blocks_after - blocks_before),
         peak_rss_kb=peak_rss_kb,
         repeats=repeats,
+        aux=aux,
     )
 
 

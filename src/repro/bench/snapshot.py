@@ -43,19 +43,24 @@ class BenchSnapshot:
                          measurement: Measurement,
                          environment: Optional[Dict[str, str]] = None,
                          ) -> "BenchSnapshot":
+        metrics = {
+            "events": measurement.events,
+            "wall_time_s": measurement.wall_time_s,
+            "events_per_second": measurement.events_per_second,
+            "peak_tracemalloc_kb": measurement.peak_tracemalloc_kb,
+            "allocated_blocks": measurement.allocated_blocks,
+            "peak_rss_kb": measurement.peak_rss_kb,
+            "repeats": measurement.repeats,
+        }
+        # Workload-reported aux metrics (fixed names above win on
+        # collision); compare treats names it does not know as advisory.
+        for name, value in sorted(measurement.aux.items()):
+            metrics.setdefault(name, value)
         return cls(
             topic=topic,
             workload_version=workload_version,
             scale=scale,
-            metrics={
-                "events": measurement.events,
-                "wall_time_s": measurement.wall_time_s,
-                "events_per_second": measurement.events_per_second,
-                "peak_tracemalloc_kb": measurement.peak_tracemalloc_kb,
-                "allocated_blocks": measurement.allocated_blocks,
-                "peak_rss_kb": measurement.peak_rss_kb,
-                "repeats": measurement.repeats,
-            },
+            metrics=metrics,
             environment=dict(environment or {}),
         )
 

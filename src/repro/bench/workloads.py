@@ -38,15 +38,16 @@ class Scale:
     hpack_blocks: int
     session_loads: int
     lint_passes: int
+    dispatch_cells: int
 
 
 SCALES: Tuple[Scale, ...] = (
     Scale(name="full", heap_events=300_000, trace_packets=60_000,
           stream_bytes=80_000_000, hpack_blocks=6_000, session_loads=2,
-          lint_passes=2),
+          lint_passes=2, dispatch_cells=24),
     Scale(name="smoke", heap_events=60_000, trace_packets=12_000,
           stream_bytes=12_000_000, hpack_blocks=1_200, session_loads=1,
-          lint_passes=1),
+          lint_passes=1, dispatch_cells=8),
 )
 
 
@@ -286,6 +287,49 @@ def _run_lint(scale: Scale) -> int:
     return events
 
 
+# -- runner_dispatch: per-cell overhead of the two pool architectures -------
+
+def _dispatch_cell(seed: int) -> dict:
+    """A near-empty grid cell: whatever time its run takes is dispatch
+    overhead, which is exactly what this workload measures."""
+    return {"value": seed % 7, "processed_events": 1, "sim_time_s": 0.0}
+
+
+def _run_runner_dispatch(scale: Scale):
+    """Fork-per-cell vs persistent-worker dispatch overhead.
+
+    The same trivial grid runs through both process-backed dispatchers
+    sequentially (one cell in flight at a time), so the difference in
+    ``elapsed_s - sum(cell wall time)`` is purely the cost of getting a
+    cell to a worker and its result back: process creation per cell for
+    the old pool, one pipe round-trip for the persistent pool.  The
+    aux metrics record each architecture's per-cell overhead; the
+    event count stays a pure function of the specs.
+    """
+    from repro.experiments.runner import RunCache, RunSpec, run_grid
+
+    specs = [RunSpec.make("repro.bench.workloads:_dispatch_cell", seed)
+             for seed in range(scale.dispatch_cells)]
+    # timeout_s forces process isolation at jobs=1: one fresh process
+    # per cell, serialized -- the pre-persistent-pool architecture.
+    forked = run_grid(specs, jobs=1, timeout_s=120.0,
+                      cache=RunCache.disabled())
+    pooled = run_grid(specs, workers=1, cache=RunCache.disabled())
+
+    events = 0
+    for grid in (forked, pooled):
+        events += sum(m["value"] + m["processed_events"]
+                      for m in grid.metrics())
+    cells = float(len(specs))
+    aux = {
+        "fork_dispatch_s_per_cell":
+            max(0.0, forked.elapsed_s - forked.wall_time_s) / cells,
+        "worker_dispatch_s_per_cell":
+            max(0.0, pooled.elapsed_s - pooled.wall_time_s) / cells,
+    }
+    return events, aux
+
+
 # -- session: the figure5-style macro workload ------------------------------
 
 def _run_session(scale: Scale) -> int:
@@ -319,6 +363,9 @@ def workloads() -> Tuple[Workload, ...]:
         Workload("lint", 1,
                  "whole-program analyzer self-check + CFG/dataflow sweep",
                  _run_lint),
+        Workload("runner_dispatch", 1,
+                 "fork-per-cell vs persistent-worker dispatch overhead",
+                 _run_runner_dispatch),
         Workload("session", 1,
                  "full attacked page loads (figure5-style macro run)",
                  _run_session),

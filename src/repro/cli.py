@@ -42,6 +42,17 @@ def _add_runner(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--retries", type=int, default=0,
                         help="extra attempts for a crashed/hung/raising "
                              "cell, with exponential backoff (default 0)")
+    parser.add_argument("-w", "--workers", type=int, default=None,
+                        metavar="N",
+                        help="run the grid on N supervised persistent "
+                             "worker processes (heartbeats, crash respawn, "
+                             "poison-cell quarantine); overrides --jobs "
+                             "dispatch, results stay identical")
+    parser.add_argument("--ledger", default=None, metavar="FILE",
+                        help="append-only JSONL sweep ledger; an "
+                             "interrupted run re-executed with the same "
+                             "ledger resumes at exactly the missing "
+                             "cells, even with --no-cache")
 
 
 def _runner_kwargs(args) -> dict:
@@ -49,7 +60,8 @@ def _runner_kwargs(args) -> dict:
 
     cache = RunCache(root=args.cache_dir, enabled=not args.no_cache)
     return {"jobs": args.jobs, "cache": cache,
-            "cell_timeout_s": args.cell_timeout, "retries": args.retries}
+            "cell_timeout_s": args.cell_timeout, "retries": args.retries,
+            "workers": args.workers, "ledger": args.ledger}
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -5,6 +5,11 @@ One module per paper artefact (see DESIGN.md's per-experiment index):
 * :mod:`repro.experiments.session` -- shared single-session runner.
 * :mod:`repro.experiments.runner` -- parallel grid runner with an
   on-disk result cache (see docs/EXPERIMENTS_GUIDE.md).
+* :mod:`repro.experiments.workers` -- supervised persistent worker
+  pool: heartbeats, crash respawn, poison-cell quarantine (see
+  docs/RUNNER.md).
+* :mod:`repro.experiments.ledger` -- crash-safe append-only sweep
+  ledger for interrupt/resume.
 * :mod:`repro.experiments.evaluation` -- success criteria (Section V).
 * :mod:`repro.experiments.baseline` -- E1, baseline multiplexing.
 * :mod:`repro.experiments.table1` -- E2, jitter sweep (Table I).
@@ -23,6 +28,7 @@ One module per paper artefact (see DESIGN.md's per-experiment index):
 * :mod:`repro.experiments.viz` -- ASCII wire timelines.
 """
 
+from repro.experiments.ledger import SweepLedger, open_ledger
 from repro.experiments.runner import (
     GridError,
     GridResult,
@@ -39,8 +45,10 @@ from repro.experiments.session import (
     run_session,
     run_sessions,
 )
+from repro.experiments.workers import WorkerStats
 
 __all__ = ["SessionConfig", "SessionResult", "isidewith_size_map",
            "run_session", "run_sessions",
            "GridError", "GridResult", "GridTelemetry", "RunCache", "RunResult",
-           "RunSpec", "run_grid"]
+           "RunSpec", "run_grid",
+           "SweepLedger", "WorkerStats", "open_ledger"]

@@ -219,7 +219,8 @@ def run_chaos(seeds: int = 25, master_seed: int = 0,
               out_dir: str = "chaos-reproducers",
               jobs: Optional[int] = None, cache: Optional[RunCache] = None,
               cell_timeout_s: Optional[float] = None,
-              retries: int = 0) -> ChaosResult:
+              retries: int = 0, workers: Optional[int] = None,
+              ledger=None) -> ChaosResult:
     """Run one chaos campaign; see module docstring."""
     chaos_specs = [generate_spec(master_seed, i) for i in range(seeds)]
     if plan is not None:
@@ -232,7 +233,8 @@ def run_chaos(seeds: int = 25, master_seed: int = 0,
                   for s in chaos_specs]
     telemetry = GridTelemetry()
     grid = run_grid(grid_specs, jobs=jobs, cache=cache,
-                    timeout_s=cell_timeout_s, retries=retries, strict=False)
+                    timeout_s=cell_timeout_s, retries=retries,
+                    workers=workers, ledger=ledger, strict=False)
     telemetry.add(grid)
 
     findings: List[ChaosFinding] = []
@@ -305,7 +307,9 @@ def _load_replay_spec(path: str) -> ChaosSpec:
 def run_chaos_command(args, jobs: Optional[int] = None,
                       cache: Optional[RunCache] = None,
                       cell_timeout_s: Optional[float] = None,
-                      retries: int = 0) -> int:
+                      retries: int = 0,
+                      workers: Optional[int] = None,
+                      ledger=None) -> int:
     """Back the ``repro chaos`` subcommand.  Exit codes: 0 all laws
     held, 1 violation or crashed cell, 2 usage error."""
     if args.seeds <= 0:
@@ -345,7 +349,8 @@ def run_chaos_command(args, jobs: Optional[int] = None,
     result = run_chaos(seeds=args.seeds, master_seed=args.seed, plan=plan,
                        shrink=not args.no_shrink, shrink_budget=args.budget,
                        out_dir=args.out, jobs=jobs, cache=cache,
-                       cell_timeout_s=cell_timeout_s, retries=retries)
+                       cell_timeout_s=cell_timeout_s, retries=retries,
+                       workers=workers, ledger=ledger)
 
     for finding in result.findings:
         violation = finding.violation

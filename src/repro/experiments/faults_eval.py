@@ -127,7 +127,9 @@ def run_faults_eval(n_per_point: int = 40, base_seed: int = 0,
                     jobs: Optional[int] = None,
                     cache: Optional[RunCache] = None,
                     cell_timeout_s: Optional[float] = None,
-                    retries: int = 0) -> FaultsEvalResult:
+                    retries: int = 0,
+                    workers: Optional[int] = None,
+                    ledger=None) -> FaultsEvalResult:
     """Sweep fault intensity; 0.0 is the paper's quiet-path baseline."""
     specs = []
     for intensity in intensities:
@@ -137,7 +139,8 @@ def run_faults_eval(n_per_point: int = 40, base_seed: int = 0,
             specs.append(RunSpec.make(CELL, seed, intensity=intensity,
                                       plan=plan.to_jsonable()))
     grid = run_grid(specs, jobs=jobs, cache=cache, timeout_s=cell_timeout_s,
-                    retries=retries, strict=False)
+                    retries=retries, workers=workers,
+                    ledger=ledger, strict=False)
 
     by_intensity: Dict[float, List[dict]] = {i: [] for i in intensities}
     cells_attempted: Dict[float, int] = {i: 0 for i in intensities}

@@ -1,0 +1,204 @@
+"""Crash-safe sweep ledger: append-only JSONL with atomic rotation.
+
+The run cache answers "has this exact cell ever been computed?"; the
+ledger answers "where was *this sweep* when it died?".  They overlap on
+the happy path, but the ledger keeps its promise even with the cache
+disabled (``--no-cache``), which is how the resume acceptance scenario
+is specified: a SIGTERM'd or kill -9'd sweep re-run against the same
+ledger executes exactly the cells whose ``done`` entries are missing.
+
+Durability model
+----------------
+One JSON object per line, appended and fsynced before the supervisor
+acknowledges the cell, so every acknowledged entry survives a power
+cut.  A process killed mid-append leaves at most one truncated final
+line; :meth:`SweepLedger.load` tolerates (and drops) unparseable lines
+instead of refusing the whole file.  Rotation (:meth:`rotate`) compacts
+superseded entries -- retried cells, stale failures -- by writing the
+live set to a temporary file, fsyncing it, and atomically replacing the
+ledger, so a crash during rotation leaves either the old or the new
+file, never a mix.
+
+Entry kinds
+-----------
+``done``    a completed cell: ``key``, ``spec``, ``record``, ``attempts``.
+``failed``  a permanently failed cell: ``key``, ``spec``, ``reason``,
+            ``attempts`` and a ``poison`` flag for quarantined cells.
+``event``   a worker-health event (serialized
+            :class:`repro.invariants.violations.Violation`), kept for
+            audit, never replayed.
+
+Only ``done`` entries are recalled on resume; ``failed`` entries are
+informational -- a resumed sweep re-attempts failed cells, because the
+point of resuming is to finish the work.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+#: Bump when the entry shape changes incompatibly.
+LEDGER_FORMAT = 1
+
+
+class SweepLedger:
+    """Append-only JSONL record of one (or more) sweep's progress.
+
+    The supervisor process is the only writer; workers never touch the
+    ledger.  Opening an existing file replays it into ``completed`` /
+    ``failed`` maps (last entry per key wins) and then appends.
+    """
+
+    def __init__(self, path: Union[str, Path], fsync: bool = True):
+        self.path = Path(path)
+        self.fsync = fsync
+        #: key -> latest ``done`` entry.
+        self.completed: Dict[str, Dict[str, Any]] = {}
+        #: key -> latest ``failed`` entry (informational; not replayed).
+        self.failed: Dict[str, Dict[str, Any]] = {}
+        #: Lines on disk that a compaction would drop.
+        self.superseded = 0
+        self._load()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self.path.open("a", encoding="utf-8")
+        # A torn final append leaves a line with no newline; gluing the
+        # next entry onto it would corrupt that entry too.  Terminate
+        # the fragment so every append starts on a fresh line.
+        try:
+            if self.path.stat().st_size > 0:
+                with self.path.open("rb") as probe:
+                    probe.seek(-1, os.SEEK_END)
+                    if probe.read(1) != b"\n":
+                        self._handle.write("\n")
+                        self._handle.flush()
+        except OSError:
+            pass
+
+    # -- replay ------------------------------------------------------------
+
+    def _load(self) -> None:
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return
+        live = 0
+        total = 0
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            total += 1
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                # A torn final append (or hand-damage): drop the line,
+                # keep everything that parsed.
+                continue
+            if not isinstance(entry, dict):
+                continue
+            kind = entry.get("kind")
+            key = entry.get("key")
+            if kind == "done" and isinstance(key, str) \
+                    and isinstance(entry.get("record"), dict):
+                self.completed[key] = entry
+                self.failed.pop(key, None)
+                live += 1
+            elif kind == "failed" and isinstance(key, str):
+                self.failed[key] = entry
+                live += 1
+        self.superseded = max(0, total - live)
+
+    # -- append ------------------------------------------------------------
+
+    def _append(self, entry: Dict[str, Any]) -> None:
+        # No sort_keys: a replayed ``record`` must round-trip with the
+        # exact key order the cell produced, or resumed grids would not
+        # be byte-identical to uninterrupted ones.
+        self._handle.write(json.dumps(entry) + "\n")
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+
+    def record_done(self, key: str, spec: Dict[str, Any],
+                    record: Dict[str, Any], attempts: int = 1) -> None:
+        """Durably record a completed cell (callable more than once per
+        key; the latest entry wins on replay)."""
+        if key in self.completed or key in self.failed:
+            self.superseded += 1
+        entry = {"kind": "done", "format": LEDGER_FORMAT, "key": key,
+                 "spec": spec, "record": record, "attempts": attempts}
+        self._append(entry)
+        self.completed[key] = entry
+        self.failed.pop(key, None)
+
+    def record_failed(self, key: str, spec: Dict[str, Any], reason: str,
+                      attempts: int, poison: bool = False) -> None:
+        """Durably record a permanent cell failure."""
+        if key in self.completed or key in self.failed:
+            self.superseded += 1
+        entry = {"kind": "failed", "format": LEDGER_FORMAT, "key": key,
+                 "spec": spec, "reason": reason, "attempts": attempts,
+                 "poison": poison}
+        self._append(entry)
+        self.failed[key] = entry
+
+    def record_event(self, violation: Dict[str, Any]) -> None:
+        """Append a worker-health event (audit trail only)."""
+        self._append({"kind": "event", "format": LEDGER_FORMAT,
+                      "violation": violation})
+
+    # -- recall ------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The ``done`` entry for ``key``, or None."""
+        return self.completed.get(key)
+
+    # -- rotation ----------------------------------------------------------
+
+    def rotate(self) -> None:
+        """Compact the file down to the live entries, atomically.
+
+        Written to a temp file, fsynced, then ``os.replace``d over the
+        ledger -- an interrupted rotation leaves the previous file
+        intact.  Worker-health ``event`` lines are dropped (they were
+        audit trail for the runs that appended them).
+        """
+        tmp = self.path.with_name(self.path.name + f".{os.getpid()}.rot")
+        entries: List[Dict[str, Any]] = []
+        for key in sorted(self.completed):
+            entries.append(self.completed[key])
+        for key in sorted(self.failed):
+            entries.append(self.failed[key])
+        with tmp.open("w", encoding="utf-8") as handle:
+            for entry in entries:
+                handle.write(json.dumps(entry) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._handle.close()
+        os.replace(tmp, self.path)
+        self._handle = self.path.open("a", encoding="utf-8")
+        self.superseded = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the underlying file handle (idempotent)."""
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "SweepLedger":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def open_ledger(path: Union[str, Path], fsync: bool = True) -> SweepLedger:
+    """Open (creating if needed) the sweep ledger at ``path``."""
+    return SweepLedger(path, fsync=fsync)
+
+
+__all__ = ["LEDGER_FORMAT", "SweepLedger", "open_ledger"]

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import hashlib
 import importlib
+import itertools
 import json
 import multiprocessing
 import os
@@ -136,7 +137,8 @@ class RunResult:
         return {"spec": self.spec.to_dict(), "metrics": self.metrics,
                 "wall_time_s": self.wall_time_s,
                 "sim_time_s": self.sim_time_s,
-                "processed_events": self.processed_events}
+                "processed_events": self.processed_events,
+                "attempts": self.attempts}
 
 
 @dataclass
@@ -144,6 +146,13 @@ class GridResult:
     """All cells of one grid, in spec order."""
 
     results: List[RunResult]
+    #: Wall-clock seconds the whole ``run_grid`` call took (dispatch
+    #: overhead included), as opposed to ``wall_time_s`` which sums the
+    #: in-cell time each worker measured.
+    elapsed_s: float = 0.0
+    #: :class:`repro.experiments.workers.WorkerStats` when the grid ran
+    #: on the persistent pool, else None.
+    worker_stats: Optional[Any] = None
 
     def __iter__(self):
         return iter(self.results)
@@ -202,6 +211,9 @@ class GridTelemetry:
     processed_events: int = 0
     sim_time_s: float = 0.0
     wall_time_s: float = 0.0
+    #: Merged :class:`repro.experiments.workers.WorkerStats` across the
+    #: grids that ran on the persistent pool, else None.
+    workers: Optional[Any] = None
 
     def add(self, grid: "GridResult") -> "GridTelemetry":
         self.cells += len(grid)
@@ -211,15 +223,23 @@ class GridTelemetry:
         self.processed_events += grid.processed_events
         self.sim_time_s += grid.sim_time_s
         self.wall_time_s += grid.wall_time_s
+        if grid.worker_stats is not None:
+            if self.workers is None:
+                from repro.experiments.workers import WorkerStats
+                self.workers = WorkerStats()
+            self.workers.merge(grid.worker_stats)
         return self
 
     def line(self) -> str:
         """One-line run summary for CLI / benchmark output."""
         failed = f", {self.failed} failed" if self.failed else ""
-        return (f"runner: {self.cells} cells "
+        line = (f"runner: {self.cells} cells "
                 f"({self.executed} executed, {self.cached} cached{failed}), "
                 f"{self.processed_events} events, "
                 f"sim {self.sim_time_s:.1f}s in wall {self.wall_time_s:.1f}s")
+        if self.workers is not None:
+            line += "; " + self.workers.line()
+        return line
 
 
 class GridError(RuntimeError):
@@ -273,6 +293,11 @@ def code_version() -> str:
     return _code_version_cache
 
 
+#: Monotone per-process serial for cache temp-file names; combined with
+#: the pid it makes every concurrent writer's temp path unique.
+_put_serial = itertools.count()
+
+
 class RunCache:
     """Content-addressed on-disk store of completed run records.
 
@@ -324,7 +349,15 @@ class RunCache:
         path = self._path(key)
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_suffix(f".{os.getpid()}.tmp")
+            # The temp name must be unique per *writer*, not just per
+            # process: two threads (or a supervisor completing the same
+            # key twice after a worker respawn) racing on one pid-named
+            # temp file would interleave writes and publish garbage.
+            # With a per-writer name the worst case is two valid
+            # replace()s racing, and either order leaves a complete
+            # record in place.
+            tmp = path.with_suffix(
+                f".{os.getpid()}.{next(_put_serial)}.tmp")
             with tmp.open("w") as handle:
                 json.dump(record, handle)
                 handle.flush()
@@ -378,6 +411,7 @@ def _result_from_record(spec: RunSpec, record: Dict[str, Any]) -> RunResult:
         sim_time_s=record.get("sim_time_s", 0.0),
         processed_events=record.get("processed_events", 0),
         cached=True,
+        attempts=record.get("attempts", 1),
     )
 
 
@@ -543,55 +577,122 @@ def run_grid(specs: Iterable[RunSpec], *, jobs: Optional[int] = None,
              cache: Optional[RunCache] = None,
              timeout_s: Optional[float] = None, retries: int = 0,
              retry_backoff_s: float = 0.5,
+             workers: Optional[int] = None,
+             ledger: Optional[Any] = None,
+             poison_strikes: Optional[int] = None,
+             heartbeat_s: Optional[float] = None,
              strict: bool = True) -> GridResult:
     """Execute a grid of specs, reusing cached cells, in spec order.
 
-    Aggregated output is independent of ``jobs``: cells are pure
-    functions of their spec, and results are returned in the order the
-    specs were given regardless of completion order.
+    Aggregated output is independent of ``jobs``/``workers``: cells are
+    pure functions of their spec, and results are returned in the order
+    the specs were given regardless of completion order.
+
+    Three dispatch modes, picked in this order:
+
+    * ``workers=N`` -- the supervised **persistent pool**
+      (:mod:`repro.experiments.workers`): long-lived worker processes
+      with heartbeats, crash respawn and poison-cell quarantine.
+    * ``jobs>1`` or ``timeout_s`` -- the process-per-cell pool (full
+      isolation, one fork per cell).
+    * otherwise -- serial in-process execution.
 
     ``timeout_s`` puts a wall-clock deadline on every cell (forcing
     process isolation even at ``jobs=1``); ``retries`` re-runs a
     crashed / hung / raising cell that many extra times with capped
     exponential backoff starting at ``retry_backoff_s``.  Every
     successful cell is cached the moment it finishes, so an interrupted
-    or partly-failed sweep resumes with only the missing cells.  With
-    ``strict`` (the default) a permanently failed cell raises
-    :class:`GridError` at the end; ``strict=False`` instead returns the
-    failures inline (``GridResult.failures``, each with ``.error``).
+    or partly-failed sweep resumes with only the missing cells.
+
+    ``ledger`` (a :class:`~repro.experiments.ledger.SweepLedger` or a
+    path to one) additionally journals every settled cell to an
+    append-only fsynced JSONL file, so an interrupted sweep resumes at
+    exactly the missing cells *even with the cache disabled*; ``done``
+    entries found in the ledger are recalled like cache hits (and
+    back-filled into the cache).  With ``strict`` (the default) a
+    permanently failed cell raises :class:`GridError` at the end;
+    ``strict=False`` instead returns the failures inline
+    (``GridResult.failures``, each with ``.error``).
     """
+    from repro.experiments.ledger import SweepLedger
+
     specs = list(specs)
     if cache is None:
         cache = RunCache()
     jobs = resolve_jobs(jobs)
     version = code_version()
+    started = time.monotonic()
 
-    keys = [spec.key(version) for spec in specs]
-    results: List[Optional[RunResult]] = [None] * len(specs)
-    misses: List[int] = []
-    for i, (spec, key) in enumerate(zip(specs, keys)):
-        record = cache.get(key)
-        if record is not None:
-            results[i] = _result_from_record(spec, record)
-        else:
-            misses.append(i)
+    owned_ledger: Optional[SweepLedger] = None
+    try:
+        if ledger is not None and not isinstance(ledger, SweepLedger):
+            owned_ledger = SweepLedger(ledger)
+            ledger = owned_ledger
 
-    if misses:
-        def on_result(index: int, result: RunResult) -> None:
-            if not result.failed:
-                cache.put(keys[index], result.to_record())
-            results[index] = result
+        keys = [spec.key(version) for spec in specs]
+        results: List[Optional[RunResult]] = [None] * len(specs)
+        misses: List[int] = []
+        for i, (spec, key) in enumerate(zip(specs, keys)):
+            record = cache.get(key)
+            if record is None and ledger is not None:
+                entry = ledger.get(key)
+                if entry is not None:
+                    record = entry["record"]
+                    cache.put(key, record)
+            if record is not None:
+                results[i] = _result_from_record(spec, record)
+            else:
+                misses.append(i)
 
-        if jobs > 1 or timeout_s is not None:
-            _run_pool(specs, misses, jobs=jobs, timeout_s=timeout_s,
-                      retries=retries, retry_backoff_s=retry_backoff_s,
-                      on_result=on_result)
-        else:
-            _run_serial(specs, misses, retries=retries,
-                        retry_backoff_s=retry_backoff_s,
-                        on_result=on_result)
+        worker_stats = None
+        if misses:
+            def on_result(index: int, result: RunResult) -> None:
+                if not result.failed:
+                    cache.put(keys[index], result.to_record())
+                    if ledger is not None:
+                        ledger.record_done(keys[index],
+                                           specs[index].to_dict(),
+                                           result.to_record(),
+                                           attempts=result.attempts)
+                elif ledger is not None:
+                    reason = result.error or ""
+                    ledger.record_failed(keys[index],
+                                         specs[index].to_dict(), reason,
+                                         attempts=result.attempts,
+                                         poison=reason.startswith("poison:"))
+                results[index] = result
 
-    grid_result = GridResult(results=[r for r in results if r is not None])
+            if workers is not None and workers > 0:
+                from repro.experiments import workers as worker_pool
+                pool_kwargs: Dict[str, Any] = {}
+                if poison_strikes is not None:
+                    pool_kwargs["poison_strikes"] = poison_strikes
+                if heartbeat_s is not None:
+                    pool_kwargs["heartbeat_s"] = heartbeat_s
+                if ledger is not None:
+                    pool_kwargs["on_event"] = (
+                        lambda violation:
+                        ledger.record_event(violation.to_jsonable()))
+                worker_stats = worker_pool.run_persistent(
+                    specs, misses, workers=workers, on_result=on_result,
+                    timeout_s=timeout_s, retries=retries,
+                    retry_backoff_s=retry_backoff_s, **pool_kwargs)
+            elif jobs > 1 or timeout_s is not None:
+                _run_pool(specs, misses, jobs=jobs, timeout_s=timeout_s,
+                          retries=retries, retry_backoff_s=retry_backoff_s,
+                          on_result=on_result)
+            else:
+                _run_serial(specs, misses, retries=retries,
+                            retry_backoff_s=retry_backoff_s,
+                            on_result=on_result)
+    finally:
+        if owned_ledger is not None:
+            owned_ledger.close()
+
+    grid_result = GridResult(
+        results=[r for r in results if r is not None],
+        elapsed_s=time.monotonic() - started,
+        worker_stats=worker_stats)
     if strict and grid_result.failures:
         raise GridError(grid_result)
     return grid_result

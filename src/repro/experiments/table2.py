@@ -112,7 +112,9 @@ def measure_natural_gaps(n_loads: int = 10, base_seed: int = 5000,
                          cache: Optional[RunCache] = None,
                          telemetry: Optional[GridTelemetry] = None,
                          cell_timeout_s: Optional[float] = None,
-                         retries: int = 0) -> List[float]:
+                         retries: int = 0,
+                         workers: Optional[int] = None,
+                         ledger=None) -> List[float]:
     """Mean natural inter-request gaps (ms) for HTML and I1..I8.
 
     Measured over clean (un-attacked) loads, exactly as the paper's
@@ -121,7 +123,8 @@ def measure_natural_gaps(n_loads: int = 10, base_seed: int = 5000,
     """
     specs = [RunSpec.make(GAP_CELL, base_seed + i) for i in range(n_loads)]
     grid = run_grid(specs, jobs=jobs, cache=cache, timeout_s=cell_timeout_s,
-                    retries=retries)
+                    retries=retries,
+                    workers=workers, ledger=ledger)
     if telemetry is not None:
         telemetry.add(grid)
 
@@ -140,11 +143,14 @@ def run_table2(n_loads: int = 100, base_seed: int = 0,
                jobs: Optional[int] = None,
                cache: Optional[RunCache] = None,
                cell_timeout_s: Optional[float] = None,
-               retries: int = 0) -> Table2Result:
+               retries: int = 0,
+               workers: Optional[int] = None,
+               ledger=None) -> Table2Result:
     """Run the full attack over many volunteer sessions."""
     specs = [RunSpec.make(CELL, base_seed + i) for i in range(n_loads)]
     grid = run_grid(specs, jobs=jobs, cache=cache, timeout_s=cell_timeout_s,
-                    retries=retries)
+                    retries=retries,
+                    workers=workers, ledger=ledger)
     telemetry = GridTelemetry().add(grid)
 
     outcomes = [Table2Outcome(**metrics["outcome"])
@@ -160,6 +166,7 @@ def run_table2(n_loads: int = 100, base_seed: int = 0,
                                          jobs=jobs, cache=cache,
                                          telemetry=telemetry,
                                          cell_timeout_s=cell_timeout_s,
-                                         retries=retries),
+                                         retries=retries,
+                                         workers=workers, ledger=ledger),
         telemetry=telemetry,
     )

@@ -22,7 +22,8 @@ class Violation:
 
     #: Stable identifier, e.g. ``LINK_CONSERVATION`` (see docs/INVARIANTS.md).
     code: str
-    #: Which monitor domain tripped: clock / link / tcp / http2 / hpack.
+    #: Which monitor domain tripped: clock / link / tcp / http2 / hpack
+    #: / worker (the last emitted by the supervised runner pool).
     domain: str
     #: Simulated time of detection (seconds).
     at_s: float
@@ -86,6 +87,21 @@ class HpackViolation(InvariantViolation):
     """HPACK dynamic-table size bounds broken."""
 
 
+class WorkerViolation(InvariantViolation):
+    """Runner worker-health law broken (supervised pool events).
+
+    Codes in this domain describe the execution substrate rather than
+    the simulation: ``WORKER_CRASH`` (a worker process died),
+    ``WORKER_HEARTBEAT_LOST`` (beats stopped; worker killed as wedged),
+    ``WORKER_STATE_DIRTY`` (a worker refused a cell after detecting
+    ambient-state contamination), ``CELL_POISONED`` (a cell was
+    quarantined for killing consecutive workers) and
+    ``WORKER_POOL_DEGRADED`` (respawn budget exhausted; sweep finished
+    serially).  ``at_s`` for these is wall-clock seconds since the pool
+    started, not simulated time.
+    """
+
+
 #: Domain -> exception class used by :func:`make_error`.
 DOMAIN_ERRORS = {
     "clock": ClockViolation,
@@ -93,6 +109,7 @@ DOMAIN_ERRORS = {
     "tcp": TcpViolation,
     "http2": Http2Violation,
     "hpack": HpackViolation,
+    "worker": WorkerViolation,
 }
 
 

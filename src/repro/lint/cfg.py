@@ -241,6 +241,11 @@ class _Builder:
         self.loops: List[Tuple[int, int]] = []
         #: Exception continuation per enclosing try (innermost last).
         self.handlers: List[int] = []
+        #: Deferred ``return`` sites per enclosing try-with-finally
+        #: (innermost last): a return inside must run the finally body
+        #: before reaching the exit, so its edge is wired when the
+        #: finally block exists.
+        self.finally_returns: List[List[Tuple[int, int]]] = []
 
     # -- plumbing -----------------------------------------------------------
 
@@ -333,8 +338,14 @@ class _Builder:
             return self._emit_match(stmt)
         if isinstance(stmt, ast.Return):
             self.current.statements.append(stmt)
-            self._edge(self.current.bid, self.cfg.exit, "return",
-                       stmt.lineno, "returns here")
+            if self.finally_returns:
+                # Inside try/finally: the finally body intervenes; the
+                # edge is wired once that body has been built.
+                self.finally_returns[-1].append(
+                    (self.current.bid, stmt.lineno))
+            else:
+                self._edge(self.current.bid, self.cfg.exit, "return",
+                           stmt.lineno, "returns here")
             self._start_block()
             return True
         if isinstance(stmt, ast.Raise):
@@ -460,6 +471,10 @@ class _Builder:
         # enter the body with this try's dispatch on the handler stack.
         body_entry = self._start_block()
         self._edge(before.bid, body_entry.bid, "next", stmt.lineno)
+        if stmt.finalbody:
+            # Collect returns in the body/orelse/handlers; they must
+            # pass through the finally body on the way out.
+            self.finally_returns.append([])
         self.handlers.append(dispatch.bid)
         body_done = self._emit_body(stmt.body)
         body_exit = self.current
@@ -508,6 +523,7 @@ class _Builder:
             # propagating exception, so release sites in it cover both
             # paths.  We build the body once on the normal path and give
             # its exit an extra re-raise edge for the escape case.
+            deferred_returns = self.finally_returns.pop()
             final_entry = join
             self.current = join
             final_done = self._emit_body(stmt.finalbody)
@@ -524,6 +540,14 @@ class _Builder:
                 self._edge(dispatch.bid, final_entry.bid, "except",
                            stmt.lineno,
                            "no handler matches; finally runs first")
+            # Deferred returns: into the finally body, then out to the
+            # exit once it completes.
+            for bid, lineno in deferred_returns:
+                self._edge(bid, final_entry.bid, "next", lineno,
+                           "return runs `finally:` first")
+            if deferred_returns and not final_done:
+                self._edge(final_exit.bid, self.cfg.exit, "return",
+                           stmt.lineno, "returns after finally")
         elif escapes:
             self._edge(dispatch.bid, outer, escape_kind, stmt.lineno,
                        "no handler matches; the exception propagates")

@@ -70,6 +70,9 @@ RULES = {
     "RES003": "probe/frame_probe hook armed but not disarmed on every "
               "path, in a function that disarms on some path (static "
               "law PROBE_LIFECYCLE; autofix inserts the disarm)",
+    "RES004": "runner resource (sweep ledger / worker handle) acquired "
+              "but not closed/disposed on some CFG path (static law "
+              "WORKER_LEDGER_LIFECYCLE; see docs/RUNNER.md)",
     "DOS001": "peer-driven receive loop with no timeout/deadline/budget "
               "reachable from server dispatch (slow-read DoS shape; "
               "static law DOS_SLOW_READ)",
@@ -78,11 +81,14 @@ RULES = {
               "static law DOS_UNBOUNDED_QUEUE)",
 }
 
-#: Modules allowed to read the wall clock: runner telemetry, the CLI,
-#: and the benchmark measurement harness (all clock reads in the bench
-#: layer are confined to repro.bench.measure by construction).
+#: Modules allowed to read the wall clock: runner telemetry, the worker
+#: supervisor (heartbeat ages, stall deadlines and respawn backoff are
+#: real-time concepts), the CLI, and the benchmark measurement harness
+#: (all clock reads in the bench layer are confined to
+#: repro.bench.measure by construction).
 DET002_ALLOWED_MODULES = frozenset({
     "repro.experiments.runner",
+    "repro.experiments.workers",
     "repro.cli",
     "repro.__main__",
     "repro.bench.measure",

@@ -18,6 +18,11 @@ path to a function exit passes a release site.  Three lifecycles ship:
   armed by a function that also disarms (assigns ``None``) must disarm
   on every path; the autofix inserts the missing disarm before the
   leaking ``return``.
+* **RES004** (``WORKER_LEDGER_LIFECYCLE``): a runner-substrate handle
+  bound by ``SweepLedger(...)``/``open_ledger(...)`` (or a worker
+  spawned with ``spawn_worker(...)``) must be closed / disposed on all
+  paths -- an unclosed ledger can lose the final fsync'd entries a
+  resume depends on, and an undisposed worker is an orphan process.
 
 Gating -- the analysis only fires when the function *shows release
 intent* (contains at least one release site for the same resource).
@@ -63,6 +68,17 @@ _STREAM_RELEASE_NAMES = frozenset({
 #: Window-credit release method names (RES002).
 _CREDIT_RELEASE_NAMES = frozenset({"replenish", "release", "refund"})
 
+#: Constructor/factory names that bind a runner-substrate handle
+#: (RES004): the sweep ledger and supervised worker handles.
+_RUNNER_OPEN_NAMES = frozenset({
+    "SweepLedger", "open_ledger", "spawn_worker",
+})
+
+#: Method names that retire a runner-substrate handle.
+_RUNNER_RELEASE_NAMES = frozenset({
+    "close", "shutdown", "stop", "dispose", "terminate",
+})
+
 #: Edge kinds that represent exceptional control transfer.
 _EXCEPTIONAL_KINDS = frozenset({"except", "raise"})
 
@@ -85,6 +101,8 @@ LIFECYCLES: Tuple[Lifecycle, ...] = (
               noun="flow-control credit", error_paths_only=True),
     Lifecycle(code="RES003", law="PROBE_LIFECYCLE",
               noun="probe hook", fixable=True),
+    Lifecycle(code="RES004", law="WORKER_LEDGER_LIFECYCLE",
+              noun="runner handle"),
 )
 
 
@@ -190,6 +208,13 @@ def _collect_acquires(fn_node) -> List[_Acquire]:
                             acquires.append(_Acquire(
                                 LIFECYCLES[0], target.id, stmt,
                                 stmt.lineno, stmt.col_offset))
+                elif name in _RUNNER_OPEN_NAMES \
+                        and isinstance(stmt, ast.Assign):
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            acquires.append(_Acquire(
+                                LIFECYCLES[3], target.id, stmt,
+                                stmt.lineno, stmt.col_offset))
                 elif name == "consume" \
                         and isinstance(node.func, ast.Attribute):
                     recv = _dotted_name(node.func.value)
@@ -248,6 +273,14 @@ class _ResourceModel:
                     return True
                 if self._releasing_call(node):
                     return True
+            elif acq.lifecycle.code == "RES004":
+                if isinstance(node.func, ast.Attribute) \
+                        and node.func.attr in _RUNNER_RELEASE_NAMES \
+                        and isinstance(node.func.value, ast.Name) \
+                        and node.func.value.id == acq.resource:
+                    return True
+                if self._releasing_call(node):
+                    return True
             elif acq.lifecycle.code == "RES002":
                 if isinstance(node.func, ast.Attribute) \
                         and node.func.attr in _CREDIT_RELEASE_NAMES:
@@ -293,7 +326,7 @@ class _ResourceModel:
         """Ownership leaves the function: returned, stored, aliased, or
         passed to a callee not known to release it."""
         acq = self.acquire
-        if acq.lifecycle.code != "RES001":
+        if acq.lifecycle.code not in ("RES001", "RES004"):
             return False
         name = acq.resource
         if isinstance(stmt, ast.Return):
@@ -471,7 +504,9 @@ def check_lifecycles(project, enabled: Set[str]) -> List[Finding]:
                             f"{acquire.resource} = None")
             release_word = {"RES001": "closed or reset",
                             "RES002": "replenished",
-                            "RES003": "disarmed"}[acquire.lifecycle.code]
+                            "RES003": "disarmed",
+                            "RES004": "closed/disposed"}[
+                                acquire.lifecycle.code]
             path_kind = ("an exception path" if acquire.lifecycle.
                          error_paths_only else "some path")
             findings.append(Finding(

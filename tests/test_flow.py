@@ -136,6 +136,31 @@ class TestCfgShapes:
             "b5->exit return",
         ]
 
+    def test_return_inside_try_routes_through_finally(self):
+        # b2 = try body, b1 = handler dispatch, b4 = finally, b5 = the
+        # (unreachable) fall-through.  The `return` does not edge to
+        # exit directly: it is deferred into the finally block
+        # (b2->b4 next), which then carries the return edge
+        # (b4->exit) -- so a release in the finally covers the early
+        # return, and RES checks see the cleanup on that path.
+        assert shape("""
+            def f(x):
+                try:
+                    return g(x)
+                finally:
+                    cleanup(x)
+        """) == [
+            "b0->b2 next",
+            "b1->b4 except",
+            "b2->b1 except",
+            "b2->b4 next",
+            "b4->error raise",
+            "b4->error raise",
+            "b4->exit return",
+            "b4->b5 next",
+            "b5->exit return",
+        ]
+
     def test_with_block(self):
         assert shape("""
             def f(x):
@@ -376,6 +401,55 @@ class TestRes003:
                     finally:
                         self.sim.probe = None
         """, select=["RES003"])
+
+
+class TestRes004:
+    def test_bad_ledger_leaked_on_early_return(self):
+        findings = findings_for("""
+            class Sweep:
+                def run(self, path, dry):
+                    ledger = open_ledger(path)
+                    if dry:
+                        return 0
+                    ledger.rotate()
+                    ledger.close()
+        """, select=["RES004"])
+        assert [f.code for f in findings] == ["RES004"]
+        assert findings[0].law == "WORKER_LEDGER_LIFECYCLE"
+        trace = "\n".join(findings[0].trace)
+        assert "still held" in trace
+
+    def test_good_close_in_finally_covers_the_early_return(self):
+        # The deferred-return CFG edges are what make this clean: the
+        # `return` inside the try routes through the finally block.
+        assert not findings_for("""
+            class Sweep:
+                def run(self, path):
+                    ledger = open_ledger(path)
+                    try:
+                        return compute()
+                    finally:
+                        ledger.close()
+        """, select=["RES004"])
+
+    def test_good_ownership_transfer_is_not_a_leak(self):
+        assert not findings_for("""
+            class Sweep:
+                def adopt(self, path):
+                    ledger = SweepLedger(path)
+                    self.ledgers.append(ledger)
+        """, select=["RES004"])
+
+    def test_bad_worker_handle_never_disposed(self):
+        findings = findings_for("""
+            class Pool:
+                def boot(self, ctx, ok):
+                    worker = spawn_worker(ctx)
+                    if ok:
+                        worker.dispose()
+        """, select=["RES004"])
+        assert [f.code for f in findings] == ["RES004"]
+        assert findings[0].law == "WORKER_LEDGER_LIFECYCLE"
 
 
 # -- DOS: peer-driven exhaustion ----------------------------------------------

@@ -48,7 +48,7 @@ def test_all_rule_families_are_registered():
         "DET001", "DET002", "DET003", "DET004", "DET005", "DET006",
         "SIM001", "SIM002", "CACHE001", "CACHE002",
         "PROTO001", "PROTO002", "PERF001", "PERF002",
-        "RES001", "RES002", "RES003", "DOS001", "DOS002",
+        "RES001", "RES002", "RES003", "RES004", "DOS001", "DOS002",
     }
     for code in ALL_CODES:
         assert RULES[code]

@@ -1,0 +1,430 @@
+"""Supervised persistent pool + sweep ledger: the robustness contract.
+
+The scenarios here are the acceptance criteria of the worker runner:
+byte-identical results vs serial, crash containment with respawn and
+correct attempt accounting, kill -9 chaos, poison-cell quarantine,
+heartbeat stall detection, dirty-state refusal, graceful degradation,
+and ledger-based resume that executes exactly the missing cells even
+with the cache disabled.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.ledger import LEDGER_FORMAT, SweepLedger, open_ledger
+from repro.experiments.runner import (
+    GridTelemetry,
+    RunCache,
+    RunSpec,
+    code_version,
+    run_grid,
+)
+from repro.experiments.workers import (
+    CHAOS_ENV,
+    WorkerStateGuard,
+    WorkerStats,
+    run_persistent,
+)
+
+TOY = "tests.test_runner:toy_cell"
+CRASH = "tests.test_runner_faults:crash_cell"
+CRASH_ONCE = "tests.test_runner_faults:crash_once_cell"
+FLAKY = "tests.test_runner_faults:flaky_cell"
+LOGGED = "tests.test_workers:logged_cell"
+DIRTY = "tests.test_workers:env_dirty_cell"
+SIGSTOP = "tests.test_workers:sigstop_cell"
+KILLER = "tests.test_workers:sigterm_once_cell"
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+# -- hostile cells (resolved by dotted path inside workers) ------------------
+
+def logged_cell(seed: int, log: str = "", delay: float = 0.0) -> dict:
+    """Appends its seed to ``log`` so tests can see which cells ran."""
+    if delay:
+        time.sleep(delay)
+    with open(log, "a", encoding="utf-8") as handle:
+        handle.write(f"{seed}\n")
+    return {"value": seed * 2, "processed_events": 1}
+
+
+def env_dirty_cell(seed: int) -> dict:
+    """Succeeds, but leaves the worker's environment contaminated."""
+    os.environ["REPRO_TEST_DIRT"] = str(seed)
+    return {"value": seed}
+
+
+def sigstop_cell(seed: int) -> dict:
+    """Freezes its own process: alive but silent -- only the heartbeat
+    watchdog can tell this apart from a long-running cell."""
+    os.kill(os.getpid(), signal.SIGSTOP)
+    return {}  # pragma: no cover - never reached before the kill
+
+
+def sigterm_once_cell(seed: int, marker_dir: str = "") -> dict:
+    """First run: SIGTERMs the *supervisor* mid-sweep and never reports
+    back.  Subsequent runs (the resume) complete normally."""
+    marker = Path(marker_dir, "sigterm")
+    if not marker.exists():
+        marker.touch()
+        time.sleep(0.5)  # let the other worker land a few done entries
+        os.kill(os.getppid(), signal.SIGTERM)
+        time.sleep(3.0)  # the supervisor is long gone by now
+        os._exit(0)  # release inherited pipes without replying
+    return {"value": seed}
+
+
+def _metrics_bytes(grid) -> str:
+    return json.dumps(grid.metrics())
+
+
+# -- byte-identity -----------------------------------------------------------
+
+def test_workers_byte_identical_to_serial(tmp_path):
+    specs = [RunSpec.make(TOY, s, scale=1.5) for s in range(8)]
+    serial = run_grid(specs, jobs=1, cache=RunCache.disabled())
+    pooled = run_grid(specs, workers=3, cache=RunCache.disabled())
+    assert _metrics_bytes(serial) == _metrics_bytes(pooled)
+    assert pooled.worker_stats is not None
+    assert pooled.worker_stats.spawned == 3
+    assert not pooled.worker_stats.crashed
+
+
+def test_telemetry_line_stays_single_line_with_worker_stats():
+    specs = [RunSpec.make(TOY, s) for s in range(3)]
+    grid = run_grid(specs, workers=2, cache=RunCache.disabled())
+    telemetry = GridTelemetry()
+    telemetry.add(grid)
+    line = telemetry.line()
+    assert line.startswith("runner:")
+    assert "workers:" in line
+    assert "\n" not in line
+
+
+# -- crash containment and attempt accounting --------------------------------
+
+def test_worker_crash_respawns_and_retries_the_cell(tmp_path):
+    marker_dir = tmp_path / "markers"
+    marker_dir.mkdir()
+    specs = [RunSpec.make(TOY, 0),
+             RunSpec.make(CRASH_ONCE, 1, marker_dir=str(marker_dir)),
+             RunSpec.make(TOY, 2)]
+    # workers=1 so the crash leaves an empty pool: the sweep can only
+    # finish if the supervisor respawns.
+    grid = run_grid(specs, workers=1, retries=2, retry_backoff_s=0.05,
+                    cache=RunCache.disabled())
+    assert len(grid.ok) == 3
+    crashed = grid.results[1]
+    assert crashed.attempts == 2
+    stats = grid.worker_stats
+    assert stats.crashed >= 1
+    assert stats.respawned >= 1
+    assert any(e["code"] == "WORKER_CRASH" for e in stats.events)
+
+
+def test_attempts_agree_between_result_and_ledger(tmp_path):
+    marker_dir = tmp_path / "markers"
+    marker_dir.mkdir()
+    ledger_path = tmp_path / "sweep.jsonl"
+    specs = [RunSpec.make(FLAKY, 0, marker_dir=str(marker_dir)),
+             RunSpec.make(CRASH_ONCE, 1, marker_dir=str(marker_dir))]
+    grid = run_grid(specs, workers=1, retries=2, retry_backoff_s=0.05,
+                    ledger=ledger_path, cache=RunCache.disabled())
+    version = code_version()
+    with open_ledger(ledger_path) as ledger:
+        for result, spec in zip(grid.results, specs):
+            entry = ledger.get(spec.key(version))
+            assert entry is not None
+            assert result.attempts == 2
+            assert entry["attempts"] == result.attempts
+
+
+def test_kill9_chaos_stays_byte_identical(tmp_path, monkeypatch):
+    specs = [RunSpec.make(TOY, s) for s in range(6)]
+    serial = run_grid(specs, jobs=1, cache=RunCache.disabled())
+    monkeypatch.setenv(CHAOS_ENV, "kill-one")
+    pooled = run_grid(specs, workers=2, retries=2, retry_backoff_s=0.05,
+                      cache=RunCache.disabled())
+    assert _metrics_bytes(serial) == _metrics_bytes(pooled)
+    assert pooled.worker_stats.crashed == 1
+    assert any(e["code"] == "WORKER_CRASH"
+               for e in pooled.worker_stats.events)
+
+
+# -- poison quarantine -------------------------------------------------------
+
+def test_poison_cell_is_quarantined_despite_retries(tmp_path):
+    specs = [RunSpec.make(CRASH, 0)] + \
+        [RunSpec.make(TOY, s) for s in range(1, 4)]
+    grid = run_grid(specs, workers=2, retries=10, retry_backoff_s=0.05,
+                    poison_strikes=2, cache=RunCache.disabled(),
+                    strict=False)
+    assert len(grid.ok) == 3
+    [failure] = grid.failures
+    assert failure.error.startswith("poison:")
+    # Quarantine preempts the retry budget: 2 strikes, not 11 attempts.
+    assert failure.attempts == 2
+    stats = grid.worker_stats
+    assert stats.poisoned == 1
+    assert any(e["code"] == "CELL_POISONED" for e in stats.events)
+
+
+# -- heartbeat stall detection -----------------------------------------------
+
+def test_stalled_worker_is_killed_and_replaced():
+    specs = [RunSpec.make(SIGSTOP, 0), RunSpec.make(TOY, 1)]
+    results = {}
+    stats = run_persistent(
+        specs, [0, 1], workers=1,
+        on_result=lambda i, r: results.__setitem__(i, r),
+        heartbeat_s=0.05, stall_timeout_s=0.4, poison_strikes=1)
+    assert stats.stalled >= 1
+    assert any(e["code"] == "WORKER_HEARTBEAT_LOST" for e in stats.events)
+    assert results[0].failed
+    assert results[0].error.startswith("poison:")
+    assert not results[1].failed
+
+
+# -- dirty-state guard -------------------------------------------------------
+
+def test_state_guard_detects_environment_drift(monkeypatch):
+    guard = WorkerStateGuard()
+    assert guard.check() == []
+    monkeypatch.setenv("REPRO_TEST_DIRT", "x")
+    assert guard.check() == ["environ changed"]
+
+
+def test_dirty_worker_is_replaced_without_charging_the_cell():
+    specs = [RunSpec.make(DIRTY, 0),
+             RunSpec.make(TOY, 1), RunSpec.make(TOY, 2)]
+    grid = run_grid(specs, workers=1, cache=RunCache.disabled())
+    assert len(grid.ok) == 3
+    # The refused cell never executed on the dirty worker: one attempt.
+    assert all(r.attempts == 1 for r in grid.results)
+    stats = grid.worker_stats
+    assert stats.dirty >= 1
+    assert stats.spawned >= 2  # the contaminated worker was replaced
+    assert any(e["code"] == "WORKER_STATE_DIRTY" for e in stats.events)
+
+
+# -- graceful degradation ----------------------------------------------------
+
+def test_degrades_to_serial_when_respawn_budget_exhausted():
+    specs = [RunSpec.make(CRASH, 0),
+             RunSpec.make(TOY, 1), RunSpec.make(TOY, 2)]
+    results = {}
+    # retries>0 keeps the killer cell pending when the pool dies, so
+    # degradation has to decide what to do with a struck cell.
+    stats = run_persistent(
+        specs, [0, 1, 2], workers=1,
+        on_result=lambda i, r: results.__setitem__(i, r),
+        retries=2, retry_backoff_s=0.05, max_respawns=0)
+    assert stats.degraded_to_serial
+    assert any(e["code"] == "WORKER_POOL_DEGRADED" for e in stats.events)
+    # The worker-killing cell is failed, not re-run in the supervisor.
+    assert results[0].failed
+    assert "not re-run in the supervisor" in results[0].error
+    assert not results[1].failed and not results[2].failed
+
+
+# -- ledger unit behaviour ---------------------------------------------------
+
+def test_ledger_roundtrip_and_replay(tmp_path):
+    path = tmp_path / "sweep.jsonl"
+    with open_ledger(path) as ledger:
+        ledger.record_done("k1", {"fn": "f", "seed": 1, "params": {}},
+                           {"metrics": {"b": 2, "a": 1}}, attempts=1)
+        ledger.record_failed("k2", {"fn": "f", "seed": 2, "params": {}},
+                             "poison: boom", attempts=3, poison=True)
+        ledger.record_event({"code": "WORKER_CRASH"})
+    with open_ledger(path) as ledger:
+        entry = ledger.get("k1")
+        assert entry["attempts"] == 1
+        assert entry["format"] == LEDGER_FORMAT
+        # Key order of the replayed record is preserved verbatim.
+        assert list(entry["record"]["metrics"]) == ["b", "a"]
+        assert ledger.get("k2") is None  # failures are never recalled
+        assert ledger.failed["k2"]["poison"] is True
+
+
+def test_ledger_tolerates_torn_final_line(tmp_path):
+    path = tmp_path / "sweep.jsonl"
+    with open_ledger(path) as ledger:
+        ledger.record_done("k1", {}, {"metrics": {}})
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write('{"kind": "done", "key": "k2", "rec')  # power cut
+    with open_ledger(path) as ledger:
+        assert ledger.get("k1") is not None
+        assert ledger.get("k2") is None
+        ledger.record_done("k3", {}, {"metrics": {}})  # still appendable
+    with open_ledger(path) as ledger:
+        assert ledger.get("k3") is not None
+
+
+def test_ledger_rotation_compacts_superseded_entries(tmp_path):
+    path = tmp_path / "sweep.jsonl"
+    with open_ledger(path) as ledger:
+        ledger.record_done("k1", {}, {"metrics": {"v": 1}})
+        ledger.record_done("k1", {}, {"metrics": {"v": 2}})
+        ledger.record_event({"code": "WORKER_CRASH"})
+        assert ledger.superseded >= 1
+        ledger.rotate()
+        assert ledger.superseded == 0
+    lines = path.read_text().splitlines()
+    assert len(lines) == 1  # one live entry; event + stale line dropped
+    with open_ledger(path) as ledger:
+        assert ledger.get("k1")["record"]["metrics"]["v"] == 2
+
+
+def test_ledger_resume_skips_completed_cells_without_cache(tmp_path):
+    log = tmp_path / "ran.log"
+    log.touch()
+    ledger_path = tmp_path / "sweep.jsonl"
+    specs = [RunSpec.make(LOGGED, s, log=str(log)) for s in range(4)]
+    first = run_grid(specs, workers=2, ledger=ledger_path,
+                     cache=RunCache.disabled())
+    assert sorted(log.read_text().split()) == ["0", "1", "2", "3"]
+
+    log.write_text("")  # reset the execution log
+    resumed = run_grid(specs, workers=2, ledger=ledger_path,
+                       cache=RunCache.disabled())
+    assert log.read_text() == ""  # zero cells re-executed
+    assert _metrics_bytes(first) == _metrics_bytes(resumed)
+    assert all(r.cached for r in resumed.results)
+
+
+# -- SIGTERM mid-sweep, resume at exactly the missing cells ------------------
+
+def test_sigterm_resume_executes_exactly_missing_cells(tmp_path):
+    marker_dir = tmp_path / "markers"
+    marker_dir.mkdir()
+    log = tmp_path / "ran.log"
+    log.touch()
+    ledger_path = tmp_path / "sweep.jsonl"
+
+    script = (
+        "import sys\n"
+        "from repro.experiments.runner import RunCache, RunSpec, run_grid\n"
+        "ledger, log, marker_dir = sys.argv[1:4]\n"
+        "specs = [RunSpec.make('tests.test_workers:sigterm_once_cell', 0,\n"
+        "                      marker_dir=marker_dir)]\n"
+        "specs += [RunSpec.make('tests.test_workers:logged_cell', s,\n"
+        "                       log=log, delay=0.15) for s in range(1, 7)]\n"
+        "run_grid(specs, workers=2, ledger=ledger,\n"
+        "         cache=RunCache.disabled(), strict=False)\n"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = f"{REPO_ROOT / 'src'}{os.pathsep}{REPO_ROOT}"
+    proc = subprocess.run(
+        [sys.executable, "-c", script, str(ledger_path), str(log),
+         str(marker_dir)],
+        cwd=str(REPO_ROOT), env=env, capture_output=True, text=True,
+        timeout=60)
+    assert proc.returncode == -signal.SIGTERM, proc.stderr
+
+    # What the interrupted sweep durably acknowledged:
+    version = code_version()
+    specs = [RunSpec.make(KILLER, 0, marker_dir=str(marker_dir))]
+    specs += [RunSpec.make(LOGGED, s, log=str(log), delay=0.15)
+              for s in range(1, 7)]
+    with open_ledger(ledger_path) as ledger:
+        done = {i for i, spec in enumerate(specs)
+                if ledger.get(spec.key(version)) is not None}
+    assert 0 not in done  # the killer never completed
+    missing = set(range(len(specs))) - done
+
+    log.write_text("")
+    resumed = run_grid(specs, workers=2, ledger=ledger_path,
+                       cache=RunCache.disabled())
+    ran = {int(s) for s in log.read_text().split()}
+    assert ran == missing - {0}  # logged cells: exactly the missing ones
+    assert len(resumed.ok) == len(specs)
+    assert all(resumed.results[i].cached for i in done)
+
+    # Byte-identical to an uninterrupted serial sweep of the same cells.
+    marker2 = tmp_path / "markers2"
+    marker2.mkdir()
+    (marker2 / "sigterm").touch()  # defuse the killer
+    log2 = tmp_path / "ran2.log"
+    serial_specs = [RunSpec.make(KILLER, 0, marker_dir=str(marker2))]
+    serial_specs += [RunSpec.make(LOGGED, s, log=str(log2), delay=0.15)
+                     for s in range(1, 7)]
+    serial = run_grid(serial_specs, jobs=1, cache=RunCache.disabled())
+    assert _metrics_bytes(resumed) == _metrics_bytes(serial)
+
+
+# -- RunCache concurrent writers ---------------------------------------------
+
+def test_cache_put_survives_concurrent_writers(tmp_path):
+    cache = RunCache(root=tmp_path / "cache")
+    key = "ab" + "0" * 62
+    records = [{"metrics": {"value": n}, "writer": n} for n in range(8)]
+    barrier = threading.Barrier(len(records))
+    errors = []
+
+    def hammer(record):
+        barrier.wait()
+        try:
+            for _ in range(50):
+                cache.put(key, record)
+        except Exception as exc:  # pragma: no cover - the regression
+            errors.append(exc)
+
+    threads = [threading.Thread(target=hammer, args=(r,)) for r in records]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    # Whatever order the replaces landed in, the slot holds one complete
+    # record, not an interleaving of two writers.
+    final = cache.get(key)
+    assert final in records
+    # Every temp file was published or cleaned up -- none leak.
+    assert not list((tmp_path / "cache").rglob("*.tmp"))
+
+
+def test_cache_put_temp_names_are_unique_per_write(tmp_path):
+    """The regression shape: two writers racing on one pid-named temp
+    file interleave their bytes.  Temp names must differ per write even
+    within one process."""
+    cache = RunCache(root=tmp_path / "cache")
+    key = "cd" + "0" * 62
+    seen = set()
+    original_open = Path.open
+
+    def spying_open(self, *args, **kwargs):
+        if self.suffix == ".tmp":
+            seen.add(self.name)
+        return original_open(self, *args, **kwargs)
+
+    try:
+        Path.open = spying_open
+        cache.put(key, {"metrics": {"v": 1}})
+        cache.put(key, {"metrics": {"v": 2}})
+    finally:
+        Path.open = original_open
+    assert len(seen) == 2
+
+
+# -- WorkerStats -------------------------------------------------------------
+
+def test_worker_stats_merge_and_line():
+    a = WorkerStats(spawned=2, crashed=1, events=[{"code": "WORKER_CRASH"}])
+    b = WorkerStats(spawned=1, respawned=1, poisoned=1,
+                    degraded_to_serial=True)
+    a.merge(b)
+    assert a.spawned == 3 and a.respawned == 1 and a.crashed == 1
+    assert a.degraded_to_serial
+    line = a.line()
+    assert line.startswith("workers: 3 spawned")
+    assert "poisoned" in line and "degraded to serial" in line
