@@ -1,0 +1,34 @@
+"""Deterministic slow-HTTP/2 DoS attack workloads.
+
+Specs (:class:`AttackSpec`) are JSON-able data that ride in run-cache
+keys; agents (:func:`make_agent`) turn a spec into seeded simulator
+clients that drive the real TCP/TLS/HTTP/2 stack.  Taxonomy and
+hardening counterparts are documented in docs/DOS.md.
+"""
+
+from repro.attacks.agents import (
+    AttackAgent,
+    AttackConnection,
+    PingFloodAgent,
+    SettingsFloodAgent,
+    SlowHeadersAgent,
+    SlowPostAgent,
+    SlowPreambleAgent,
+    StreamResetChurnAgent,
+    make_agent,
+)
+from repro.attacks.spec import ATTACK_KINDS, AttackSpec
+
+__all__ = [
+    "ATTACK_KINDS",
+    "AttackSpec",
+    "AttackAgent",
+    "AttackConnection",
+    "SlowPreambleAgent",
+    "SlowHeadersAgent",
+    "SlowPostAgent",
+    "PingFloodAgent",
+    "SettingsFloodAgent",
+    "StreamResetChurnAgent",
+    "make_agent",
+]

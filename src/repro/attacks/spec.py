@@ -1,0 +1,129 @@
+"""Attack specs: declarative, JSON-able slow-DoS workload descriptions.
+
+A spec is data, not behaviour: it can ride inside a
+:class:`repro.experiments.runner.RunSpec`'s params (and therefore inside
+the cache key), cross a process boundary as JSON, and be compared for
+equality -- the same contract as :class:`repro.faults.FaultPlan`.  The
+agents in :mod:`repro.attacks.agents` turn a spec into seeded simulator
+behaviour driving real TCP/TLS/HTTP/2 state machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+#: Recognised attack kinds (taxonomy in docs/DOS.md).
+#:
+#: ``slow_preamble``      -- dial TCP connections and never speak TLS:
+#:                           each one parks a connection slot forever.
+#: ``slow_headers``       -- open request streams with
+#:                           ``HEADERS(END_STREAM=0)`` and go silent;
+#:                           the announced body never arrives, so the
+#:                           stream counts against
+#:                           ``max_concurrent_streams`` forever.
+#: ``slow_post``          -- like ``slow_headers``, but trickle one
+#:                           body byte per ``pace_s`` per stream to
+#:                           defeat a naive first-byte timeout.
+#: ``ping_flood``         -- PING at ``rate_per_s``; every PING forces
+#:                           an inline ack, doubling the damage.
+#: ``settings_flood``     -- non-ack SETTINGS at ``rate_per_s``; each
+#:                           one forces a SETTINGS ack and a settings
+#:                           re-parse.
+#: ``stream_reset_churn`` -- open a stream and reset it in the same TLS
+#:                           record at ``rate_per_s`` (the rapid-reset
+#:                           shape): the server books a stream, spawns
+#:                           state, and tears it down, over and over.
+ATTACK_KINDS = ("slow_preamble", "slow_headers", "slow_post",
+                "ping_flood", "settings_flood", "stream_reset_churn")
+
+#: Kinds whose load knob is ``streams`` (per connection).
+_STREAM_KINDS = ("slow_headers", "slow_post")
+
+#: Kinds whose load knob is ``rate_per_s``.
+_RATE_KINDS = ("ping_flood", "settings_flood", "stream_reset_churn")
+
+
+@dataclass(frozen=True)
+class AttackSpec:
+    """One deterministic slow-DoS workload."""
+
+    kind: str
+    #: Absolute simulation time the agent starts dialling.
+    start_s: float = 0.0
+    #: How long the agent keeps applying pressure after starting.
+    duration_s: float = 30.0
+    #: Connections the agent holds open (and, for ``slow_preamble``,
+    #: re-dials when the server kills one).
+    connections: int = 1
+    #: Streams opened per connection (``slow_headers``/``slow_post``).
+    streams: int = 16
+    #: Control-frame (or open+reset pair) rate for the flood kinds.
+    rate_per_s: float = 50.0
+    #: Inter-action gap: stream-open spacing (``slow_headers``), body
+    #: trickle cadence (``slow_post``), re-dial sweep (``slow_preamble``).
+    pace_s: float = 1.0
+    #: Path the stream-opening kinds request.
+    target_path: str = "/"
+
+    def validate(self) -> None:
+        if self.kind not in ATTACK_KINDS:
+            raise ValueError(f"unknown attack kind {self.kind!r} "
+                             f"(expected one of {ATTACK_KINDS})")
+        if self.start_s < 0:
+            raise ValueError(f"{self.kind}: start_s must be >= 0, "
+                             f"got {self.start_s}")
+        if self.duration_s <= 0:
+            raise ValueError(f"{self.kind}: duration_s must be > 0, "
+                             f"got {self.duration_s}")
+        if self.connections < 1:
+            raise ValueError(f"{self.kind}: connections must be >= 1, "
+                             f"got {self.connections}")
+        if self.streams < 1:
+            raise ValueError(f"{self.kind}: streams must be >= 1, "
+                             f"got {self.streams}")
+        if self.rate_per_s <= 0:
+            raise ValueError(f"{self.kind}: rate_per_s must be > 0, "
+                             f"got {self.rate_per_s}")
+        if self.pace_s <= 0:
+            raise ValueError(f"{self.kind}: pace_s must be > 0, "
+                             f"got {self.pace_s}")
+        if not self.target_path:
+            raise ValueError(f"{self.kind}: target_path must be non-empty")
+
+    @property
+    def ends_at_s(self) -> float:
+        return self.start_s + self.duration_s
+
+    def to_jsonable(self) -> dict:
+        return {"kind": self.kind, "start_s": self.start_s,
+                "duration_s": self.duration_s,
+                "connections": self.connections, "streams": self.streams,
+                "rate_per_s": self.rate_per_s, "pace_s": self.pace_s,
+                "target_path": self.target_path}
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "AttackSpec":
+        spec = cls(kind=data["kind"],
+                   start_s=float(data.get("start_s", 0.0)),
+                   duration_s=float(data.get("duration_s", 30.0)),
+                   connections=int(data.get("connections", 1)),
+                   streams=int(data.get("streams", 16)),
+                   rate_per_s=float(data.get("rate_per_s", 50.0)),
+                   pace_s=float(data.get("pace_s", 1.0)),
+                   target_path=str(data.get("target_path", "/")))
+        spec.validate()
+        return spec
+
+    @classmethod
+    def coerce(cls, value: Any) -> Optional["AttackSpec"]:
+        """Accept a spec, its JSON-able dict form, or None."""
+        if value is None:
+            return None
+        if isinstance(value, AttackSpec):
+            value.validate()
+            return value
+        if isinstance(value, dict):
+            return cls.from_jsonable(value)
+        raise TypeError(f"cannot build an AttackSpec from "
+                        f"{type(value).__name__}")

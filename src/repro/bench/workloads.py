@@ -39,15 +39,16 @@ class Scale:
     session_loads: int
     lint_passes: int
     dispatch_cells: int
+    dos_probe_events: int
 
 
 SCALES: Tuple[Scale, ...] = (
     Scale(name="full", heap_events=300_000, trace_packets=60_000,
           stream_bytes=80_000_000, hpack_blocks=6_000, session_loads=2,
-          lint_passes=2, dispatch_cells=24),
+          lint_passes=2, dispatch_cells=24, dos_probe_events=300_000),
     Scale(name="smoke", heap_events=60_000, trace_packets=12_000,
           stream_bytes=12_000_000, hpack_blocks=1_200, session_loads=1,
-          lint_passes=1, dispatch_cells=8),
+          lint_passes=1, dispatch_cells=8, dos_probe_events=60_000),
 )
 
 
@@ -330,6 +331,102 @@ def _run_runner_dispatch(scale: Scale):
     return events, aux
 
 
+# -- dos_detector: per-probe-event overhead of the DoS classifier -----------
+
+class _BenchClock:
+    """Minimal ``.now`` clock the detector samples (no simulator)."""
+
+    __slots__ = ("now",)
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+
+class _BenchTcpConn:
+    """Identity-keyed stand-in for a server-side TCP connection."""
+
+    __slots__ = ()
+
+
+class _BenchH2Conn:
+    """Stand-in exposing the ``h2_conn.tls.conn`` chain the frame tap
+    walks to key its per-connection tracks."""
+
+    __slots__ = ("tls",)
+
+    class _Tls:
+        __slots__ = ("conn",)
+
+        def __init__(self, conn) -> None:
+            self.conn = conn
+
+    def __init__(self, conn) -> None:
+        self.tls = self._Tls(conn)
+
+
+def _run_dos_detector(scale: Scale) -> int:
+    """Feed the DoS detector a seeded probe-event stream shaped like a
+    mixed attack/legitimate server: per-event cost of the taps is the
+    whole measurement (the detector is on the hot probe path of every
+    hardened run).  A handful of connections stay preamble-silent and
+    others dangle request streams, trickle bodies, and flood control
+    frames, so every rule -- inline rates and periodic sweeps --
+    executes at realistic ratios.
+    """
+    from repro.http2 import frames as fr
+    from repro.invariants.dos_detector import DosDetector
+
+    rng = random.Random(_SEED + 3)
+    clock = _BenchClock()
+    detector = DosDetector(clock)
+    tcp_conns = [_BenchTcpConn() for _ in range(32)]
+    h2_conns = [_BenchH2Conn(conn) for conn in tcp_conns]
+    greeted = [False] * len(tcp_conns)
+    next_stream = [1] * len(tcp_conns)
+    open_streams: list = [[] for _ in tcp_conns]
+
+    for i in range(scale.dos_probe_events):
+        clock.now += 0.0004
+        index = rng.randrange(len(tcp_conns))
+        if index < 4:
+            # Preamble-silent connections: TCP liveness, no frames.
+            detector.on_segment(tcp_conns[index], "recv", None)
+            continue
+        h2 = h2_conns[index]
+        if not greeted[index]:
+            greeted[index] = True
+            detector.on_frame(h2, "recv", fr.SettingsFrame(
+                settings={1: 4096}), False)
+            continue
+        roll = rng.random()
+        if roll < 0.15:
+            detector.on_segment(tcp_conns[index], "recv", None)
+        elif roll < 0.35:
+            stream_id = next_stream[index]
+            next_stream[index] += 2
+            open_streams[index].append(stream_id)
+            detector.on_frame(h2, "recv", fr.HeadersFrame(
+                stream_id=stream_id, end_stream=rng.random() < 0.5), False)
+        elif roll < 0.60 and open_streams[index]:
+            stream_id = rng.choice(open_streams[index])
+            detector.on_frame(h2, "recv", fr.DataFrame(
+                stream_id=stream_id, length=rng.choice((1, 1, 40, 1200)),
+                end_stream=rng.random() < 0.1), False)
+        elif roll < 0.75:
+            detector.on_frame(h2, "recv", fr.PingFrame(), False)
+        elif roll < 0.85:
+            detector.on_frame(h2, "recv", fr.SettingsFrame(
+                settings={4: 65_535}), False)
+        elif open_streams[index]:
+            stream_id = open_streams[index].pop(0)
+            detector.on_frame(h2, "recv", fr.RstStreamFrame(
+                stream_id=stream_id), False)
+        else:
+            detector.on_frame(h2, "recv", fr.PingFrame(ack=True), False)
+    detector.finalize(clock.now)
+    return detector.events + len(detector.flags)
+
+
 # -- session: the figure5-style macro workload ------------------------------
 
 def _run_session(scale: Scale) -> int:
@@ -366,6 +463,9 @@ def workloads() -> Tuple[Workload, ...]:
         Workload("runner_dispatch", 1,
                  "fork-per-cell vs persistent-worker dispatch overhead",
                  _run_runner_dispatch),
+        Workload("dos_detector", 1,
+                 "DoS-detector probe taps over a mixed traffic stream",
+                 _run_dos_detector),
         Workload("session", 1,
                  "full attacked page loads (figure5-style macro run)",
                  _run_session),

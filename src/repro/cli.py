@@ -21,7 +21,7 @@ def _add_common(parser: argparse.ArgumentParser, default_n: int) -> None:
 
 #: Subcommands backed by the parallel runner (repro.experiments.runner).
 RUNNER_COMMANDS = ("table1", "figure5", "drops", "table2", "defenses",
-                   "faults")
+                   "faults", "dos")
 
 
 def _add_runner(parser: argparse.ArgumentParser) -> None:
@@ -83,6 +83,8 @@ def build_parser() -> argparse.ArgumentParser:
             ("table2", 40, "E5: Table II attack accuracy"),
             ("defenses", 15, "E7b: defenses evaluation"),
             ("faults", 20, "EF: attack success under injected faults"),
+            ("dos", 2, "DOS: slow-HTTP/2 attacks vs hardening vs "
+                       "detection"),
     ):
         cmd = sub.add_parser(name, help=help_text)
         _add_common(cmd, default_n)
@@ -194,6 +196,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.experiments.faults_eval import run_faults_eval
         result = run_faults_eval(n_per_point=args.loads, base_seed=args.seed,
                                  **_runner_kwargs(args))
+    elif args.command == "dos":
+        from repro.experiments.dos_eval import run_dos_eval
+        result = run_dos_eval(n_per_point=args.loads, base_seed=args.seed,
+                              **_runner_kwargs(args))
     elif args.command == "size-estimation":
         from repro.experiments.size_estimation import run_size_estimation
         result = run_size_estimation()
@@ -211,6 +217,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         raise SystemExit(2)
 
     print(result.table().to_text())
+    verdicts = getattr(result, "verdict_lines", None)
+    if verdicts is not None:
+        for line in verdicts():
+            print(line)
     for failure in getattr(result, "failures", ()) or ():
         print(f"failed cell: {failure}")
     telemetry = getattr(result, "telemetry", None)

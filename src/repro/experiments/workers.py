@@ -244,6 +244,16 @@ class _Worker:
     busy_since: float = 0.0
 
 
+def stall_exceeded(last_beat: float, now: float,
+                   stall_timeout_s: float) -> bool:
+    """True when a worker's beat age *strictly* exceeds the stall
+    timeout.  Strict: a beat aged exactly ``stall_timeout_s`` is still
+    alive, so the supervisor's wait horizon (``last_beat +
+    stall_timeout_s``) can expire without instantly condemning the
+    worker it woke up to check."""
+    return now - last_beat > stall_timeout_s
+
+
 def run_persistent(specs: List[RunSpec], misses: List[int], *,
                    workers: int,
                    on_result: Callable[[int, RunResult], None],
@@ -563,7 +573,7 @@ def run_persistent(specs: List[RunSpec], misses: List[int], *,
                                    f"timed out after {timeout_s:g}s",
                                    worker_death=True)
                     continue
-                if now - worker.last_beat > stall_timeout_s:
+                if stall_exceeded(worker.last_beat, now, stall_timeout_s):
                     worker_died(worker, "stall",
                                 f"no heartbeat for {stall_timeout_s:g}s")
     finally:
@@ -578,4 +588,5 @@ def run_persistent(specs: List[RunSpec], misses: List[int], *,
 
 
 __all__ = ["CHAOS_ENV", "HEARTBEAT_INTERVAL_S", "POISON_STRIKES",
-           "WorkerStateGuard", "WorkerStats", "run_persistent"]
+           "WorkerStateGuard", "WorkerStats", "run_persistent",
+           "stall_exceeded"]

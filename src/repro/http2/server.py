@@ -32,6 +32,7 @@ from repro.http2.priority import PriorityTree
 from repro.http2.scheduler import MuxScheduler, make_scheduler
 from repro.http2.settings import Http2Settings
 from repro.http2.stream import StreamState
+from repro.simnet.timers import TimerWheel
 from repro.tcp.connection import TcpConfig, TcpConnection, TcpStack
 from repro.tls.session import TlsSession
 
@@ -62,6 +63,212 @@ class Http2ServerConfig:
     #: Accepted-connection cap: further accepts are refused (slow-DoS
     #: guard; generous enough that legitimate workloads never hit it).
     max_connections: int = 256
+
+    # -- resource-robustness layer (docs/DOS.md) -------------------------
+    #
+    # Every knob defaults to *off* (None / False): an unhardened server
+    # schedules no deadline events and is byte-identical to the
+    # pre-hardening model.  Deadlines ride a
+    # :class:`repro.simnet.timers.TimerWheel` on the simulator clock.
+
+    #: Accept-to-TLS-established deadline (kills silent TCP dialers).
+    handshake_timeout_s: Optional[float] = None
+    #: TLS-established-to-client-SETTINGS deadline.
+    preamble_timeout_s: Optional[float] = None
+    #: HEADERS(END_STREAM=0)-to-first-body-byte deadline per stream.
+    header_timeout_s: Optional[float] = None
+    #: Maximum gap between request-body DATA frames per stream.
+    body_progress_timeout_s: Optional[float] = None
+    #: Per-connection PING budget per second of simulated time.
+    max_pings_per_s: Optional[float] = None
+    #: Per-connection non-ack SETTINGS budget per second.
+    max_settings_per_s: Optional[float] = None
+    #: Per-connection RST_STREAM budget per second (rapid-reset guard).
+    max_resets_per_s: Optional[float] = None
+    #: Per-connection open-stream cap below ``max_concurrent_streams``.
+    max_open_streams: Optional[int] = None
+    #: Per-connection cap on response frames queued for the mux (the
+    #: memory proxy); exceeding it sheds the connection.
+    max_queued_frames: Optional[int] = None
+    #: At the ``max_connections`` accept cap, abort the connection with
+    #: the oldest activity instead of refusing the newcomer.
+    reap_slowest_at_capacity: bool = False
+
+    #: (name, must-be-positive-float) knobs validated in __post_init__.
+    _TIMEOUT_KNOBS = ("handshake_timeout_s", "preamble_timeout_s",
+                      "header_timeout_s", "body_progress_timeout_s",
+                      "max_pings_per_s", "max_settings_per_s",
+                      "max_resets_per_s")
+    _CAP_KNOBS = ("max_open_streams", "max_queued_frames")
+
+    def __post_init__(self) -> None:
+        for name in ("port", "max_frame_payload", "backlog_watermark_bytes",
+                     "max_connections"):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ValueError(f"Http2ServerConfig.{name} must be > 0, "
+                                 f"got {value}")
+        if self.processing_delay_mean_s <= 0:
+            raise ValueError("Http2ServerConfig.processing_delay_mean_s "
+                             f"must be > 0, got {self.processing_delay_mean_s}")
+        for name in self._TIMEOUT_KNOBS + self._CAP_KNOBS:
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"Http2ServerConfig.{name} must be > 0 "
+                                 f"when set, got {value}")
+
+    def hardening_active(self) -> bool:
+        """True when any per-connection hardening knob is set."""
+        return any(getattr(self, name) is not None
+                   for name in self._TIMEOUT_KNOBS + self._CAP_KNOBS)
+
+
+class _ConnectionHardening:
+    """Per-connection resource-robustness state (docs/DOS.md).
+
+    Created only when :meth:`Http2ServerConfig.hardening_active` -- an
+    unhardened connection carries ``None`` and pays one ``is not None``
+    test per frame.  Deadlines live on a
+    :class:`~repro.simnet.timers.TimerWheel`; rate budgets are plain
+    per-second windows on the simulator clock, so nothing here
+    schedules an event unless a deadline knob is set.
+    """
+
+    def __init__(self, conn: "ServerConnection"):
+        self.conn = conn
+        self.config = conn.config
+        self.timers = TimerWheel(conn.sim)
+        #: ``key -> [window_start_s, count]`` rate-budget windows.
+        self._windows: Dict[str, List] = {}
+        #: Streams whose request body is still expected (END_STREAM unseen).
+        self._pending_bodies: set = set()
+        #: Streams refused by the per-connection ``max_open_streams`` cap.
+        self.capped_streams = 0
+        #: Streams reset by a header/body-progress deadline.
+        self.timed_out_streams = 0
+        if self.config.handshake_timeout_s is not None:
+            self.timers.arm("handshake", self.config.handshake_timeout_s,
+                            self._connection_deadline, "handshake")
+
+    # -- connection lifecycle ------------------------------------------------
+
+    def on_tls_established(self) -> None:
+        self.timers.cancel("handshake")
+        if self.config.preamble_timeout_s is not None:
+            self.timers.arm("preamble", self.config.preamble_timeout_s,
+                            self._connection_deadline, "preamble")
+
+    def disarm(self) -> None:
+        """Connection teardown: every deadline dies with the resource."""
+        self.timers.cancel_all()
+        self._pending_bodies.clear()
+
+    # -- frame admission (non-duplicate receive path) ------------------------
+
+    def admit(self, frame: fr.Frame) -> bool:
+        """Account ``frame`` against budgets; False drops it (the
+        connection has been shed)."""
+        if isinstance(frame, fr.SettingsFrame):
+            if frame.ack:
+                return True
+            self.timers.cancel("preamble")
+            return self._within_budget("settings",
+                                       self.config.max_settings_per_s)
+        if isinstance(frame, fr.PingFrame):
+            if frame.ack:
+                return True
+            return self._within_budget("ping", self.config.max_pings_per_s)
+        if isinstance(frame, fr.RstStreamFrame):
+            self._stream_done(frame.stream_id)
+            return self._within_budget("reset", self.config.max_resets_per_s)
+        if isinstance(frame, fr.DataFrame):
+            self._on_body_data(frame)
+        return True
+
+    def admit_stream(self, frame: fr.HeadersFrame) -> bool:
+        """Per-connection open-stream cap, checked before stream setup."""
+        cap = self.config.max_open_streams
+        if cap is not None and self.conn._open_stream_count() >= cap:
+            self.capped_streams += 1
+            self.conn.send_frame(fr.RstStreamFrame(
+                stream_id=frame.stream_id,
+                error_code=int(ErrorCode.REFUSED_STREAM)))
+            return False
+        return True
+
+    def on_request_opened(self, frame: fr.HeadersFrame) -> None:
+        if frame.end_stream:
+            return
+        if len(self._pending_bodies) < 4096:  # bound tracked state
+            self._pending_bodies.add(frame.stream_id)
+        if self.config.header_timeout_s is not None:
+            self.timers.arm(f"hdr:{frame.stream_id}",
+                            self.config.header_timeout_s,
+                            self._stream_deadline, frame.stream_id)
+
+    def _on_body_data(self, frame: fr.DataFrame) -> None:
+        stream_id = frame.stream_id
+        if stream_id not in self._pending_bodies:
+            return
+        self.timers.cancel(f"hdr:{stream_id}")
+        if frame.end_stream:
+            self._stream_done(stream_id)
+        elif self.config.body_progress_timeout_s is not None:
+            self.timers.arm(f"body:{stream_id}",
+                            self.config.body_progress_timeout_s,
+                            self._stream_deadline, stream_id)
+
+    def _stream_done(self, stream_id: int) -> None:
+        self._pending_bodies.discard(stream_id)
+        self.timers.cancel(f"hdr:{stream_id}")
+        self.timers.cancel(f"body:{stream_id}")
+
+    # -- budgets, queue cap, deadlines ---------------------------------------
+
+    def _within_budget(self, key: str, per_s: Optional[float]) -> bool:
+        if per_s is None:
+            return True
+        now = self.conn.sim.now
+        window = self._windows.get(key)
+        if window is None or now - window[0] >= 1.0:
+            self._windows[key] = [now, 1]
+            return True
+        window[1] += 1
+        if window[1] > per_s:
+            self._shed(f"{key} rate {window[1]}/s exceeds budget "
+                       f"{per_s:g}/s")
+            return False
+        return True
+
+    def on_frames_queued(self) -> None:
+        cap = self.config.max_queued_frames
+        if cap is None:
+            return
+        queued = sum(len(queue) for queue in self.conn.stream_queues.values())
+        if queued > cap:
+            self._shed(f"{queued} response frames queued exceeds cap {cap}")
+
+    def _shed(self, reason: str) -> None:
+        """Graceful shedding: ENHANCE_YOUR_CALM GOAWAY, then teardown."""
+        if self.conn._aborted:
+            return
+        self.conn.server.shed_connections += 1
+        self.conn.shed_reason = reason
+        self.conn.abort(ErrorCode.ENHANCE_YOUR_CALM)
+
+    def _connection_deadline(self, which: str) -> None:
+        if self.conn._aborted:
+            return
+        self.conn.server.timed_out_connections += 1
+        self.conn.shed_reason = f"{which} deadline expired"
+        self.conn.abort(ErrorCode.ENHANCE_YOUR_CALM)
+
+    def _stream_deadline(self, stream_id: int) -> None:
+        if self.conn._aborted:
+            return
+        self.timed_out_streams += 1
+        self._stream_done(stream_id)
+        self.conn._reset_stream(stream_id, ErrorCode.CANCEL)
 
 
 @dataclass(frozen=True, slots=True)
@@ -108,7 +315,55 @@ class ServerConnection(Http2Connection):
         self.refused_streams = 0
         self._dynamic_cache: Dict[str, bool] = {}
         self._rng = server.sim.rng("http2-server")
+        # Passive robustness telemetry: counter/attribute updates only,
+        # never events, so an unhardened server stays byte-identical.
+        self.pings_received = 0
+        self.settings_received = 0
+        self.resets_received = 0
+        self.last_activity_s = server.sim.now
+        #: Why the robustness layer shed/reaped this connection ("" if alive).
+        self.shed_reason = ""
+        self._hardening: Optional[_ConnectionHardening] = (
+            _ConnectionHardening(self) if server.config.hardening_active()
+            else None)
         tls.conn.on_send_space = self.pump
+
+    # -- robustness layer ----------------------------------------------------
+
+    def _on_tls_established(self, tls: TlsSession) -> None:
+        hardening = getattr(self, "_hardening", None)
+        if hardening is not None:
+            hardening.on_tls_established()
+        super()._on_tls_established(tls)
+
+    def _dispatch(self, frame: fr.Frame, dup: bool) -> None:
+        if not dup:
+            self.last_activity_s = self.sim.now
+            if isinstance(frame, fr.PingFrame):
+                if not frame.ack:
+                    self.pings_received += 1
+            elif isinstance(frame, fr.SettingsFrame):
+                if not frame.ack:
+                    self.settings_received += 1
+            elif isinstance(frame, fr.RstStreamFrame):
+                self.resets_received += 1
+            if self._hardening is not None \
+                    and not self._hardening.admit(frame):
+                return
+        super()._dispatch(frame, dup)
+
+    def _reset_stream(self, stream_id: int, error_code: ErrorCode) -> None:
+        """Server-initiated stream teardown (deadline expiry): RST the
+        peer, retire local state, flush queued frames."""
+        stream = self.streams.get(stream_id)
+        if stream is None or stream.was_reset:
+            return
+        if not self._aborted and self.tls.conn.state != "closed":
+            self.send_frame(fr.RstStreamFrame(stream_id=stream_id,
+                                              error_code=int(error_code)))
+        stream.on_recv_rst(int(error_code))
+        if self.stream_queues.pop(stream_id, None) is not None:
+            self.scheduler.on_stream_done(stream_id)
 
     # -- request ingress -----------------------------------------------------
 
@@ -125,6 +380,9 @@ class ServerConnection(Http2Connection):
                     stream_id=frame.stream_id,
                     error_code=int(ErrorCode.REFUSED_STREAM)))
                 return
+            if self._hardening is not None \
+                    and not self._hardening.admit_stream(frame):
+                return
             if self._open_stream_count() >= self.settings.max_concurrent_streams:
                 self.refused_streams += 1
                 self.send_frame(fr.RstStreamFrame(
@@ -137,6 +395,8 @@ class ServerConnection(Http2Connection):
             stream.on_recv_headers(end_stream=frame.end_stream)
             weight = frame.priority_weight or 16
             self.priority_tree.add_stream(frame.stream_id, weight=weight)
+            if self._hardening is not None:
+                self._hardening.on_request_opened(frame)
         else:
             stream = self.streams.get(frame.stream_id)
             if stream is None or stream.was_reset:
@@ -192,6 +452,8 @@ class ServerConnection(Http2Connection):
             return
         self._aborted = True
         self._shutting_down = True
+        if self._hardening is not None:
+            self._hardening.disarm()
         if self.tls.conn.state != "closed":
             # The GOAWAY needs an established TLS session; a connection
             # aborted mid-handshake dies with a bare FIN.
@@ -353,6 +615,8 @@ class ServerConnection(Http2Connection):
             self.stream_queues[stream_id] = queue
         for frame in frames:
             queue.append((frame, dup))
+        if self._hardening is not None:
+            self._hardening.on_frames_queued()
         self.pump()
 
     def pump(self) -> None:
@@ -440,14 +704,48 @@ class Http2Server:
         #: pool / GC pause / overloaded host); workers keep generating.
         self.stalled = False
         self.stalls = 0
+        #: Accepts refused at the ``max_connections`` cap.
+        self.refused_connections = 0
+        #: Connections shed for exceeding a rate/queue budget.
+        self.shed_connections = 0
+        #: Slowest-connection evictions made to admit a new accept.
+        self.reaped_connections = 0
+        #: Connections killed by a handshake/preamble deadline.
+        self.timed_out_connections = 0
 
         tcp_config = tcp_config or TcpConfig(deliver_duplicates=True)
         self.tcp = TcpStack(sim, host, tcp_config)
         self.tcp.listen(self.config.port, self._on_accept)
 
+    #: Minimum idle time before an established connection may be reaped
+    #: to admit a new accept.  A connection mid-page-load receives
+    #: frames far more often than this; one that finished (or stalled)
+    #: goes quiet for longer.
+    REAP_IDLE_MIN_S = 1.0
+
     def _on_accept(self, conn: TcpConnection) -> None:
-        if len(self.connections) >= self.config.max_connections:
-            return  # connection flood: refuse service, keep the rest alive
+        live = [c for c in self.connections if not c._aborted]
+        if len(live) >= self.config.max_connections:
+            victim = None
+            if self.config.reap_slowest_at_capacity:
+                # Reap the longest-idle *established* connection.  A
+                # connection that never finished TLS is already on the
+                # handshake deadline's clock, and in an accept burst it
+                # is indistinguishable from the newcomer itself -- so it
+                # is never a reaping candidate; with no eligible victim
+                # the newcomer is refused instead.  Stable min keeps the
+                # choice deterministic.
+                idle = [c for c in live if c.tls.established
+                        and self.sim.now - c.last_activity_s
+                        >= self.REAP_IDLE_MIN_S]
+                if idle:
+                    victim = min(idle, key=lambda c: c.last_activity_s)
+            if victim is None:
+                self.refused_connections += 1
+                return  # connection flood: refuse, keep the rest alive
+            victim.shed_reason = "reaped: slowest at accept capacity"
+            victim.abort(ErrorCode.ENHANCE_YOUR_CALM)
+            self.reaped_connections += 1
         tls = TlsSession(conn, role="server")
         self.connections.append(ServerConnection(self, tls))
 

@@ -18,9 +18,11 @@ from repro.invariants.chaos import (
     generate_spec,
     shrink_candidates,
 )
+from repro.invariants.dos_detector import DosDetector, DosDetectorConfig
 from repro.invariants.monitors import MonitorSuite
 from repro.invariants.violations import (
     ClockViolation,
+    DosViolation,
     EventRing,
     HpackViolation,
     Http2Violation,
@@ -36,6 +38,9 @@ __all__ = [
     "CHAOS_SCHEDULERS",
     "ChaosSpec",
     "ClockViolation",
+    "DosDetector",
+    "DosDetectorConfig",
+    "DosViolation",
     "EventRing",
     "HpackViolation",
     "Http2Violation",

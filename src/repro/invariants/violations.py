@@ -23,7 +23,8 @@ class Violation:
     #: Stable identifier, e.g. ``LINK_CONSERVATION`` (see docs/INVARIANTS.md).
     code: str
     #: Which monitor domain tripped: clock / link / tcp / http2 / hpack
-    #: / worker (the last emitted by the supervised runner pool).
+    #: / worker (emitted by the supervised runner pool) / dos (emitted
+    #: by the slow-DoS traffic detector).
     domain: str
     #: Simulated time of detection (seconds).
     at_s: float
@@ -102,6 +103,22 @@ class WorkerViolation(InvariantViolation):
     """
 
 
+class DosViolation(InvariantViolation):
+    """Slow-HTTP/2 denial-of-service traffic pattern detected.
+
+    Codes in this domain are emitted by
+    :class:`repro.invariants.dos_detector.DosDetector`, one per attack
+    kind: ``DOS_SLOW_PREAMBLE`` (TCP connection never spoke TLS/HTTP2),
+    ``DOS_SLOW_HEADERS`` (many request streams dangling with announced
+    bodies that never arrive), ``DOS_SLOW_POST`` (many streams trickling
+    tiny body frames), ``DOS_PING_FLOOD``, ``DOS_SETTINGS_FLOOD`` and
+    ``DOS_RESET_CHURN`` (control-frame rates beyond any legitimate
+    client).  Unlike the other domains these are traffic *judgements*,
+    not broken conservation laws -- harnesses typically collect rather
+    than raise them.
+    """
+
+
 #: Domain -> exception class used by :func:`make_error`.
 DOMAIN_ERRORS = {
     "clock": ClockViolation,
@@ -110,6 +127,7 @@ DOMAIN_ERRORS = {
     "http2": Http2Violation,
     "hpack": HpackViolation,
     "worker": WorkerViolation,
+    "dos": DosViolation,
 }
 
 

@@ -32,6 +32,10 @@ PACKAGE_LAYERS = (
     ("repro.quic", "protocols"),
     ("repro.browser", "application"),
     ("repro.website", "application"),
+    # Attack agents are hostile *clients*: they drive the same
+    # transport/protocol stacks the browser does, so they live in the
+    # application layer beside it.
+    ("repro.attacks", "application"),
     ("repro.core", "analysis"),
     ("repro.analysis", "analysis"),
     ("repro.defenses", "analysis"),

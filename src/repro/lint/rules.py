@@ -79,6 +79,9 @@ RULES = {
     "DOS002": "unbounded append of peer-derived input to instance state "
               "in an event-reachable handler (no len()/limit guard; "
               "static law DOS_UNBOUNDED_QUEUE)",
+    "DOS003": "deadline-timer handle armed via schedule() but not "
+              "cancelled on every path that shows cancel intent "
+              "(typestate law TIMER_ARMED_NOT_CANCELLED)",
 }
 
 #: Modules allowed to read the wall clock: runner telemetry, the worker

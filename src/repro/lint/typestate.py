@@ -23,6 +23,14 @@ path to a function exit passes a release site.  Three lifecycles ship:
   spawned with ``spawn_worker(...)``) must be closed / disposed on all
   paths -- an unclosed ledger can lose the final fsync'd entries a
   resume depends on, and an undisposed worker is an orphan process.
+* **DOS003** (``TIMER_ARMED_NOT_CANCELLED``): a deadline-timer handle
+  bound by a ``schedule()``/``schedule_at()`` call (a target whose
+  name mentions ``timer`` or ``deadline``) must be cancelled --
+  ``handle.cancel()`` or ``handle = None`` -- on every path that shows
+  cancel intent.  Release sites *before* the arm do not count
+  (``release_after_acquire``): the cancel-then-rearm idiom cancels the
+  previous handle, so a function that only ever re-arms is an
+  arm-forever design, not a leak.
 
 Gating -- the analysis only fires when the function *shows release
 intent* (contains at least one release site for the same resource).
@@ -79,6 +87,13 @@ _RUNNER_RELEASE_NAMES = frozenset({
     "close", "shutdown", "stop", "dispose", "terminate",
 })
 
+#: Call names that arm a simulator timer (DOS003); the binding target
+#: must look like a timer handle (see ``_TIMER_TARGET_WORDS``).
+_TIMER_ARM_NAMES = frozenset({"schedule", "schedule_at"})
+
+#: Substrings that mark an assignment target as a timer handle.
+_TIMER_TARGET_WORDS = ("timer", "deadline")
+
 #: Edge kinds that represent exceptional control transfer.
 _EXCEPTIONAL_KINDS = frozenset({"except", "raise"})
 
@@ -92,6 +107,10 @@ class Lifecycle:
     noun: str
     error_paths_only: bool = False
     fixable: bool = False
+    #: Only release sites *after* the acquire show release intent
+    #: (cancel-then-rearm idioms cancel the *previous* handle, not
+    #: this one).
+    release_after_acquire: bool = False
 
 
 LIFECYCLES: Tuple[Lifecycle, ...] = (
@@ -103,6 +122,8 @@ LIFECYCLES: Tuple[Lifecycle, ...] = (
               noun="probe hook", fixable=True),
     Lifecycle(code="RES004", law="WORKER_LEDGER_LIFECYCLE",
               noun="runner handle"),
+    Lifecycle(code="DOS003", law="TIMER_ARMED_NOT_CANCELLED",
+              noun="deadline timer", release_after_acquire=True),
 )
 
 
@@ -215,6 +236,22 @@ def _collect_acquires(fn_node) -> List[_Acquire]:
                             acquires.append(_Acquire(
                                 LIFECYCLES[3], target.id, stmt,
                                 stmt.lineno, stmt.col_offset))
+                elif name in _TIMER_ARM_NAMES \
+                        and isinstance(stmt, ast.Assign) \
+                        and node is stmt.value:
+                    for target in stmt.targets:
+                        dotted = (_dotted_name(target)
+                                  if isinstance(target, ast.Attribute)
+                                  else target.id
+                                  if isinstance(target, ast.Name) else None)
+                        if dotted is None:
+                            continue
+                        last = dotted.rsplit(".", 1)[-1].lower()
+                        if any(word in last
+                               for word in _TIMER_TARGET_WORDS):
+                            acquires.append(_Acquire(
+                                LIFECYCLES[4], dotted, stmt,
+                                stmt.lineno, stmt.col_offset))
                 elif name == "consume" \
                         and isinstance(node.func, ast.Attribute):
                     recv = _dotted_name(node.func.value)
@@ -288,10 +325,15 @@ class _ResourceModel:
                     if recv and (recv == acq.resource
                                  or "window" in recv.lower()):
                         return True
-        if self.acquire.lifecycle.code == "RES003" \
+            elif acq.lifecycle.code == "DOS003":
+                if isinstance(node.func, ast.Attribute) \
+                        and node.func.attr == "cancel" \
+                        and _dotted_name(node.func.value) == acq.resource:
+                    return True
+        if self.acquire.lifecycle.code in ("RES003", "DOS003") \
                 and isinstance(stmt, ast.Assign):
             for target in stmt.targets:
-                if isinstance(target, ast.Attribute) \
+                if isinstance(target, (ast.Attribute, ast.Name)) \
                         and _dotted_name(target) == acq.resource \
                         and isinstance(stmt.value, ast.Constant) \
                         and stmt.value.value is None:
@@ -478,6 +520,9 @@ def check_lifecycles(project, enabled: Set[str]) -> List[Finding]:
             model = _ResourceModel(acquire, project, fn, releasing)
             stmts = list(_own_statements(fn.node))
             release_sites = [s for s in stmts if model.releases(s)]
+            if acquire.lifecycle.release_after_acquire:
+                release_sites = [s for s in release_sites
+                                 if s.lineno > acquire.lineno]
             if not release_sites:
                 # No release intent: ownership transfer by design.
                 continue
@@ -505,7 +550,8 @@ def check_lifecycles(project, enabled: Set[str]) -> List[Finding]:
             release_word = {"RES001": "closed or reset",
                             "RES002": "replenished",
                             "RES003": "disarmed",
-                            "RES004": "closed/disposed"}[
+                            "RES004": "closed/disposed",
+                            "DOS003": "cancelled"}[
                                 acquire.lifecycle.code]
             path_kind = ("an exception path" if acquire.lifecycle.
                          error_paths_only else "some path")

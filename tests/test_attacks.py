@@ -1,0 +1,160 @@
+"""Attack specs and agents: determinism and open-server symptoms.
+
+Each agent drives the real TCP/TLS/HTTP/2 state machines through
+simnet; these tests pin (a) the spec's validation/serialization
+contract (it rides inside RunSpec cache keys), (b) per-kind resource
+symptoms on an *unhardened* server, and (c) bit-for-bit determinism of
+an attacked run.
+"""
+
+import pytest
+
+from repro.attacks import ATTACK_KINDS, AttackSpec, make_agent
+from repro.http2.server import Http2Server, Http2ServerConfig
+from repro.simnet.engine import Simulator
+from repro.simnet.topology import StandardTopology, TopologyConfig
+from repro.tcp.connection import TcpStack
+from repro.website.isidewith import build_isidewith_site
+
+
+def _attacked_server(spec: AttackSpec, *, seed: int = 3,
+                     config: Http2ServerConfig = None, until: float = 8.0):
+    sim = Simulator(seed=seed)
+    topo = StandardTopology(sim, TopologyConfig())
+    site = build_isidewith_site()
+    server = Http2Server(sim, topo.server, site,
+                         config or Http2ServerConfig(max_connections=4))
+    stack = TcpStack(sim, topo.client)
+    agent = make_agent(sim, stack, spec)
+    agent.start()
+    sim.run(until=until)
+    return sim, server, agent
+
+
+# -- spec contract ------------------------------------------------------------
+
+class TestAttackSpec:
+    def test_unknown_kind_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown attack kind"):
+            AttackSpec("tcp_tarpit").validate()
+
+    @pytest.mark.parametrize("field,value", [
+        ("start_s", -1.0), ("duration_s", 0.0), ("connections", 0),
+        ("streams", 0), ("rate_per_s", 0.0), ("pace_s", -0.5),
+        ("target_path", ""),
+    ])
+    def test_bad_field_values_are_rejected(self, field, value):
+        spec = AttackSpec("ping_flood", **{field: value})
+        with pytest.raises(ValueError, match=field):
+            spec.validate()
+
+    def test_jsonable_roundtrip_is_identity(self):
+        spec = AttackSpec("slow_post", start_s=1.0, duration_s=9.0,
+                          connections=2, streams=40, rate_per_s=8.0,
+                          pace_s=1.25, target_path="/p/1")
+        assert AttackSpec.from_jsonable(spec.to_jsonable()) == spec
+
+    def test_coerce_accepts_spec_dict_and_none(self):
+        spec = AttackSpec("slow_headers")
+        assert AttackSpec.coerce(spec) is spec
+        assert AttackSpec.coerce(spec.to_jsonable()) == spec
+        assert AttackSpec.coerce(None) is None
+        with pytest.raises(TypeError):
+            AttackSpec.coerce(["slow_headers"])
+
+    def test_every_kind_has_an_agent(self):
+        sim = Simulator(seed=1)
+        topo = StandardTopology(sim, TopologyConfig())
+        stack = TcpStack(sim, topo.client)
+        for kind in ATTACK_KINDS:
+            agent = make_agent(sim, stack, AttackSpec(kind))
+            assert agent.spec.kind == kind
+
+
+# -- open-server symptoms, per kind -------------------------------------------
+
+def test_slow_preamble_fills_the_accept_table():
+    spec = AttackSpec("slow_preamble", duration_s=6.0, connections=6,
+                      pace_s=0.5)
+    _sim, server, agent = _attacked_server(spec)
+    # 4 slots, 6 silent dialers: the table fills and refusals begin.
+    assert server.refused_connections > 0
+    assert agent.dials >= 6
+    # No dialer ever spoke TLS, so no HTTP/2 frames were exchanged.
+    assert all(not c.tls.established for c in server.connections)
+
+
+def test_slow_headers_exhausts_the_stream_table():
+    spec = AttackSpec("slow_headers", duration_s=6.0, streams=140,
+                      pace_s=0.02)
+    _sim, server, agent = _attacked_server(spec)
+    # Streams dangle open forever, so the 128-stream table fills.
+    assert sum(c.refused_streams for c in server.connections) > 0
+    assert agent.streams_opened >= 140
+
+
+def test_slow_post_trickles_bodies_on_open_streams():
+    spec = AttackSpec("slow_post", duration_s=6.0, streams=20, pace_s=1.0)
+    _sim, _server, agent = _attacked_server(spec)
+    # Opens (one frame each) plus at least a few trickle rounds.
+    assert agent.streams_opened == 20
+    assert agent.frames_sent > 20
+
+
+def test_ping_flood_is_received_and_acked():
+    spec = AttackSpec("ping_flood", duration_s=5.0, rate_per_s=60.0)
+    _sim, server, agent = _attacked_server(spec)
+    received = sum(c.pings_received for c in server.connections)
+    assert received >= 200
+    assert agent.frames_sent >= received
+
+
+def test_settings_flood_is_counted():
+    spec = AttackSpec("settings_flood", duration_s=5.0, rate_per_s=40.0)
+    _sim, server, _agent = _attacked_server(spec)
+    assert sum(c.settings_received for c in server.connections) >= 150
+
+
+def test_stream_reset_churn_books_and_tears_down_streams():
+    spec = AttackSpec("stream_reset_churn", duration_s=5.0, rate_per_s=40.0)
+    _sim, server, agent = _attacked_server(spec)
+    resets = sum(c.resets_received for c in server.connections)
+    assert resets >= 150
+    # Reset streams do not accumulate: the per-conn tracking list drains.
+    assert all(len(c.attack_streams) <= 1 for c in agent.conns)
+
+
+# -- agent mechanics ----------------------------------------------------------
+
+def test_start_is_idempotent():
+    sim = Simulator(seed=1)
+    topo = StandardTopology(sim, TopologyConfig())
+    stack = TcpStack(sim, topo.client)
+    agent = make_agent(sim, stack, AttackSpec("slow_preamble",
+                                              duration_s=2.0,
+                                              connections=3, pace_s=0.5))
+    agent.start()
+    agent.start()
+    sim.run(until=1.0)
+    assert agent.dials == 3
+
+
+def test_agent_stops_applying_pressure_after_expiry():
+    spec = AttackSpec("ping_flood", duration_s=2.0, rate_per_s=50.0)
+    sim, _server, agent = _attacked_server(spec, until=3.0)
+    assert agent.expired
+    sent_at_expiry = agent.frames_sent
+    sim.run(until=8.0)
+    assert agent.frames_sent == sent_at_expiry
+
+
+def test_attacked_run_is_deterministic():
+    def run_once():
+        spec = AttackSpec("stream_reset_churn", duration_s=4.0,
+                          rate_per_s=30.0)
+        sim, server, agent = _attacked_server(spec, until=6.0)
+        return (sim.processed_events, agent.dials, agent.frames_sent,
+                agent.streams_opened,
+                sum(c.resets_received for c in server.connections))
+
+    assert run_once() == run_once()

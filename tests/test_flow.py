@@ -10,8 +10,8 @@ Three layers under test:
   convergence on a loop-carried definition (the classic fixpoint that
   a single forward pass gets wrong).
 * :mod:`repro.lint.typestate` / the DOS checks -- one fixture per rule
-  (RES001/RES002/RES003, DOS001/DOS002) asserting the exact code, law,
-  and CFG-path evidence.
+  (RES001-RES004, DOS001-DOS003) asserting the exact code, law, and
+  CFG-path evidence.
 """
 
 from __future__ import annotations
@@ -540,3 +540,65 @@ class TestDos002:
                 def on_packet(self, pkt):
                     self.ticks.append(self.sim.now)
         """, select=["DOS002"])
+
+
+class TestDos003:
+    def test_bad_timer_left_armed_on_the_early_return(self):
+        findings = findings_for("""
+            class Conn:
+                def begin(self, fast):
+                    self._handshake_timer = self.sim.schedule(2.0, self._die)
+                    if fast:
+                        return
+                    self._handshake_timer.cancel()
+        """, select=["DOS003"])
+        assert [f.code for f in findings] == ["DOS003"]
+        assert findings[0].law == "TIMER_ARMED_NOT_CANCELLED"
+        assert "not cancelled" in findings[0].message
+        trace = "\n".join(findings[0].trace)
+        assert "branch `if fast:` is taken" in trace
+        assert "returns with 'self._handshake_timer' still held" in trace
+
+    def test_good_cancel_on_every_path(self):
+        assert not findings_for("""
+            class Conn:
+                def begin(self, fast):
+                    self._handshake_timer = self.sim.schedule(2.0, self._die)
+                    if fast:
+                        self._handshake_timer.cancel()
+                        return
+                    self._handshake_timer.cancel()
+        """, select=["DOS003"])
+
+    def test_good_assign_none_is_a_cancel(self):
+        assert not findings_for("""
+            class Conn:
+                def begin(self, fast):
+                    self.idle_deadline = self.sim.schedule(9.0, self._die)
+                    if fast:
+                        self.idle_deadline = None
+                        return
+                    self.idle_deadline = None
+        """, select=["DOS003"])
+
+    def test_good_cancel_then_rearm_is_arm_forever(self):
+        # The cancel precedes the arm: it retires the *previous* handle,
+        # so this function shows no release intent for the new one (the
+        # RTO-restart idiom in the TCP stack).
+        assert not findings_for("""
+            class Conn:
+                def restart_rto(self):
+                    self._rto_timer.cancel()
+                    self._rto_timer = self.sim.schedule(1.0, self._on_rto)
+        """, select=["DOS003"])
+
+    def test_good_non_timer_schedule_is_not_tracked(self):
+        # Plain event scheduling is not a deadline-timer acquire.
+        assert not findings_for("""
+            class Conn:
+                def kick(self, fast):
+                    handle = self.sim.schedule(0.0, self._pump)
+                    if fast:
+                        return
+                    handle.cancel()
+        """, select=["DOS003"])

@@ -1,0 +1,193 @@
+"""The server's resource-robustness layer (docs/DOS.md).
+
+Contract under test: every hardening knob defaults to *off* (no
+per-connection hardening state, no deadline events, byte-identical
+runs), construction-time validation rejects nonsense values, and each
+knob defeats the attack kind it was built for while naming its action
+in per-connection telemetry (``shed_reason``, counters).
+"""
+
+import pytest
+
+from repro.attacks import AttackSpec, make_agent
+from repro.http2.server import Http2Server, Http2ServerConfig
+from repro.simnet.engine import Simulator
+from repro.simnet.topology import StandardTopology, TopologyConfig
+from repro.tcp.connection import TcpStack
+from repro.website.isidewith import build_isidewith_site
+
+
+def _session(spec, config, *, seed: int = 5, until: float = 8.0):
+    sim = Simulator(seed=seed)
+    topo = StandardTopology(sim, TopologyConfig())
+    server = Http2Server(sim, topo.server, build_isidewith_site(), config)
+    stack = TcpStack(sim, topo.client)
+    agent = make_agent(sim, stack, spec)
+    agent.start()
+    sim.run(until=until)
+    return sim, server, stack
+
+
+# -- construction-time validation ---------------------------------------------
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("knob", [
+        "handshake_timeout_s", "preamble_timeout_s", "header_timeout_s",
+        "body_progress_timeout_s", "max_pings_per_s", "max_settings_per_s",
+        "max_resets_per_s",
+    ])
+    def test_timeout_and_rate_knobs_reject_nonpositive(self, knob):
+        for bad in (0.0, -1.0):
+            with pytest.raises(ValueError, match=knob):
+                Http2ServerConfig(**{knob: bad})
+
+    @pytest.mark.parametrize("knob", ["max_open_streams",
+                                      "max_queued_frames"])
+    def test_cap_knobs_reject_nonpositive(self, knob):
+        for bad in (0, -4):
+            with pytest.raises(ValueError, match=knob):
+                Http2ServerConfig(**{knob: bad})
+
+    def test_base_fields_still_validated(self):
+        with pytest.raises(ValueError, match="max_connections"):
+            Http2ServerConfig(max_connections=0)
+
+    def test_none_knobs_are_legal_and_inactive(self):
+        config = Http2ServerConfig()
+        assert not config.hardening_active()
+        # The reap flag alone arms no per-connection machinery.
+        assert not Http2ServerConfig(
+            reap_slowest_at_capacity=True).hardening_active()
+        assert Http2ServerConfig(header_timeout_s=3.0).hardening_active()
+
+
+# -- off-by-default: no hardening state, no deadline events -------------------
+
+def test_default_config_creates_no_hardening_state():
+    spec = AttackSpec("ping_flood", duration_s=2.0, rate_per_s=20.0)
+    _sim, server, _stack = _session(spec, Http2ServerConfig())
+    assert server.connections
+    assert all(c._hardening is None for c in server.connections)
+    assert server.shed_connections == 0
+    assert server.timed_out_connections == 0
+
+
+def test_idle_hardened_server_schedules_no_events():
+    # Hardening armed but no traffic: the wheel stays empty, so the
+    # run processes zero events (the lint/DET byte-identity contract).
+    sim = Simulator(seed=1)
+    topo = StandardTopology(sim, TopologyConfig())
+    Http2Server(sim, topo.server, build_isidewith_site(),
+                Http2ServerConfig(handshake_timeout_s=1.0))
+    sim.run(until=30.0)
+    assert sim.processed_events == 0
+
+
+# -- deadline knobs vs their attack kinds -------------------------------------
+
+def test_handshake_deadline_kills_silent_dialers():
+    spec = AttackSpec("slow_preamble", duration_s=3.0, connections=3,
+                      pace_s=10.0)  # no re-dial sweep within the run
+    _sim, server, _stack = _session(
+        spec, Http2ServerConfig(handshake_timeout_s=1.5), until=6.0)
+    assert server.timed_out_connections == 3
+    assert all(c._aborted for c in server.connections)
+    assert all("handshake deadline" in c.shed_reason
+               for c in server.connections)
+
+
+def test_header_deadline_resets_dangling_request_streams():
+    spec = AttackSpec("slow_headers", duration_s=4.0, streams=6,
+                      pace_s=0.02)
+    _sim, server, _stack = _session(
+        spec, Http2ServerConfig(header_timeout_s=1.0), until=8.0)
+    [conn] = server.connections
+    assert conn._hardening.timed_out_streams == 6
+    assert conn._open_stream_count() == 0  # the table was drained
+
+
+def test_body_progress_deadline_beats_the_trickle():
+    # One byte per 2 s defeats a first-byte timeout but not a
+    # progress deadline tighter than the trickle pace.
+    spec = AttackSpec("slow_post", duration_s=6.0, streams=6, pace_s=2.0)
+    _sim, server, _stack = _session(
+        spec, Http2ServerConfig(body_progress_timeout_s=0.5), until=10.0)
+    [conn] = server.connections
+    assert conn._hardening.timed_out_streams == 6
+
+
+def test_max_open_streams_caps_below_the_stream_table():
+    spec = AttackSpec("slow_headers", duration_s=4.0, streams=40,
+                      pace_s=0.02)
+    _sim, server, _stack = _session(
+        spec, Http2ServerConfig(max_open_streams=8), until=8.0)
+    [conn] = server.connections
+    assert conn._open_stream_count() <= 8
+    assert conn._hardening.capped_streams >= 30
+
+
+# -- rate budgets -------------------------------------------------------------
+
+@pytest.mark.parametrize("kind,knob", [
+    ("ping_flood", "max_pings_per_s"),
+    ("settings_flood", "max_settings_per_s"),
+    ("stream_reset_churn", "max_resets_per_s"),
+])
+def test_control_frame_floods_are_shed(kind, knob):
+    spec = AttackSpec(kind, duration_s=5.0, rate_per_s=60.0)
+    _sim, server, _stack = _session(
+        spec, Http2ServerConfig(**{knob: 20.0}), until=8.0)
+    assert server.shed_connections == 1
+    [conn] = server.connections
+    assert conn._aborted
+    assert "exceeds budget" in conn.shed_reason
+
+
+def test_rate_budget_admits_a_polite_peer():
+    spec = AttackSpec("ping_flood", duration_s=5.0, rate_per_s=10.0)
+    _sim, server, _stack = _session(
+        spec, Http2ServerConfig(max_pings_per_s=20.0), until=8.0)
+    assert server.shed_connections == 0
+    assert all(not c._aborted for c in server.connections)
+
+
+# -- reap-slowest at the accept cap -------------------------------------------
+
+def test_reap_slowest_established_idler_admits_a_newcomer():
+    sim = Simulator(seed=5)
+    topo = StandardTopology(sim, TopologyConfig())
+    server = Http2Server(sim, topo.server, build_isidewith_site(),
+                         Http2ServerConfig(max_connections=1,
+                                           reap_slowest_at_capacity=True))
+    stack = TcpStack(sim, topo.client)
+    # An established-then-silent occupant...
+    agent = make_agent(sim, stack, AttackSpec("slow_headers",
+                                              duration_s=2.0, streams=2,
+                                              pace_s=0.02))
+    agent.start()
+    # ...and a newcomer dialing well past the 1 s idle floor.
+    sim.schedule(5.0, stack.connect, "server", 443, lambda conn: None)
+    sim.run(until=8.0)
+    assert server.reaped_connections == 1
+    victim = server.connections[0]
+    assert victim._aborted and "reaped" in victim.shed_reason
+    assert server.refused_connections == 0
+
+
+def test_never_established_connections_are_not_reap_victims():
+    sim = Simulator(seed=5)
+    topo = StandardTopology(sim, TopologyConfig())
+    server = Http2Server(sim, topo.server, build_isidewith_site(),
+                         Http2ServerConfig(max_connections=2,
+                                           reap_slowest_at_capacity=True))
+    stack = TcpStack(sim, topo.client)
+    # Two silent dialers occupy both slots but never complete TLS: they
+    # are on the handshake deadline's clock, not the reaper's.
+    agent = make_agent(sim, stack, AttackSpec("slow_preamble",
+                                              duration_s=2.0,
+                                              connections=2, pace_s=10.0))
+    agent.start()
+    sim.schedule(5.0, stack.connect, "server", 443, lambda conn: None)
+    sim.run(until=8.0)
+    assert server.reaped_connections == 0
+    assert server.refused_connections == 1

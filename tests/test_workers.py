@@ -32,6 +32,7 @@ from repro.experiments.workers import (
     WorkerStateGuard,
     WorkerStats,
     run_persistent,
+    stall_exceeded,
 )
 
 TOY = "tests.test_runner:toy_cell"
@@ -179,6 +180,46 @@ def test_poison_cell_is_quarantined_despite_retries(tmp_path):
 
 
 # -- heartbeat stall detection -----------------------------------------------
+
+def test_stall_threshold_exactly_reached_is_not_a_stall():
+    # The predicate is strict: the supervisor's wait horizon expires at
+    # last_beat + stall_timeout, and waking up exactly then must not
+    # condemn the worker it woke up to check.
+    assert not stall_exceeded(last_beat=10.0, now=10.5, stall_timeout_s=0.5)
+    assert not stall_exceeded(last_beat=10.0, now=10.0, stall_timeout_s=0.5)
+    assert stall_exceeded(last_beat=10.0, now=10.53125, stall_timeout_s=0.5)
+
+
+def test_busy_but_beating_worker_outlives_the_stall_timeout(tmp_path):
+    # A cell that runs 3x longer than the stall timeout: the watchdog
+    # keys on beat age, not busy time, so the daemon beater keeps the
+    # worker alive through the whole cell.
+    log = tmp_path / "ran.log"
+    specs = [RunSpec.make(LOGGED, 0, log=str(log), delay=1.2)]
+    results = {}
+    stats = run_persistent(
+        specs, [0], workers=1,
+        on_result=lambda i, r: results.__setitem__(i, r),
+        heartbeat_s=0.05, stall_timeout_s=0.4)
+    assert stats.stalled == 0
+    assert not results[0].failed
+
+
+def test_beats_from_the_survivor_during_a_respawn_are_absorbed():
+    # One worker stalls and is killed; while its replacement spawns,
+    # the other worker keeps beating and finishing cells -- those
+    # messages must land on the live handle, not the disposed one.
+    specs = [RunSpec.make(SIGSTOP, 0)] + \
+        [RunSpec.make(TOY, s) for s in range(1, 5)]
+    results = {}
+    stats = run_persistent(
+        specs, [0, 1, 2, 3, 4], workers=2,
+        on_result=lambda i, r: results.__setitem__(i, r),
+        heartbeat_s=0.05, stall_timeout_s=0.4, poison_strikes=1)
+    assert stats.stalled >= 1
+    assert results[0].failed
+    assert all(not results[i].failed for i in range(1, 5))
+
 
 def test_stalled_worker_is_killed_and_replaced():
     specs = [RunSpec.make(SIGSTOP, 0), RunSpec.make(TOY, 1)]
