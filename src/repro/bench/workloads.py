@@ -38,6 +38,7 @@ class Scale:
     hpack_blocks: int
     session_loads: int
     lint_passes: int
+    taint_passes: int
     dispatch_cells: int
     dos_probe_events: int
 
@@ -45,10 +46,12 @@ class Scale:
 SCALES: Tuple[Scale, ...] = (
     Scale(name="full", heap_events=300_000, trace_packets=60_000,
           stream_bytes=80_000_000, hpack_blocks=6_000, session_loads=2,
-          lint_passes=2, dispatch_cells=24, dos_probe_events=300_000),
+          lint_passes=2, taint_passes=2, dispatch_cells=24,
+          dos_probe_events=300_000),
     Scale(name="smoke", heap_events=60_000, trace_packets=12_000,
           stream_bytes=12_000_000, hpack_blocks=1_200, session_loads=1,
-          lint_passes=1, dispatch_cells=8, dos_probe_events=60_000),
+          lint_passes=1, taint_passes=1, dispatch_cells=8,
+          dos_probe_events=60_000),
 )
 
 
@@ -288,6 +291,36 @@ def _run_lint(scale: Scale) -> int:
     return events
 
 
+# -- taint: the interprocedural LEAK pass over the package ------------------
+
+def _run_taint(scale: Scale) -> int:
+    """The full interprocedural taint pass (every LEAK rule) over the
+    installed ``repro`` package: summary fixpoints over the adversary
+    and defense call graphs plus the tap-passivity sweep.  The event
+    count is analyzed functions + summary rounds' worth of flow facts +
+    findings -- a pure function of the committed tree, so drift means
+    the analyzer or the boundary changed shape.
+    """
+    from repro.lint.cli import package_root
+    from repro.lint.engine import build_project, load_contexts
+    from repro.lint.taint import (LEAK_SPECS, _relevant_functions,
+                                  _sink_functions, check_taint)
+
+    root = package_root()
+    events = 0
+    for _ in range(scale.taint_passes):
+        project = build_project(load_contexts([root]))
+        findings = check_taint(
+            project, {spec.code for spec in LEAK_SPECS} | {"LEAK003"})
+        events += len(findings)
+        for spec in LEAK_SPECS:
+            sinks = _sink_functions(project, spec)
+            events += len(sinks)
+            events += len(_relevant_functions(project, sinks))
+        events += sum(len(finding.trace) for finding in findings)
+    return events
+
+
 # -- runner_dispatch: per-cell overhead of the two pool architectures -------
 
 def _dispatch_cell(seed: int) -> dict:
@@ -460,6 +493,9 @@ def workloads() -> Tuple[Workload, ...]:
         Workload("lint", 1,
                  "whole-program analyzer self-check + CFG/dataflow sweep",
                  _run_lint),
+        Workload("taint", 1,
+                 "interprocedural LEAK taint pass over the package",
+                 _run_taint),
         Workload("runner_dispatch", 1,
                  "fork-per-cell vs persistent-worker dispatch overhead",
                  _run_runner_dispatch),

@@ -4,7 +4,7 @@ The simulator's reproducibility contract (docs/ARCHITECTURE.md) is only
 worth something if it is enforced; ``repro.lint`` turns its clauses into
 machine-checked rules.  A run parses every file, builds a project-wide
 symbol table / call graph (:mod:`repro.lint.project`), and dispatches
-seven rule families:
+the rule families:
 
 =========  ============================================================
 DET001-6   determinism: set-iteration order (now interprocedural, with
@@ -29,6 +29,11 @@ DOS001-2   peer-driven exhaustion shapes: receive loops with no
            (DOS_UNBOUNDED_QUEUE)
 PERF001-2  accidentally quadratic patterns (list.pop(0), linear 'in'
            on lists) inside event-loop-reachable hot paths
+LEAK001-3  the adversary's information boundary, as interprocedural
+           taint flows (:mod:`repro.lint.taint`): ground truth into
+           adversary code (ADV_INFO_BOUNDARY), adversary output into
+           defenses (DEFENSE_NO_FEEDBACK), passive taps mutating the
+           observed system (TAP_PASSIVITY)
 =========  ============================================================
 
 The flow-sensitive core behind PROTO/RES/DOS lives in
@@ -57,15 +62,18 @@ from repro.lint.engine import (ALL_CODES, KNOWN_CODES, UNKNOWN_CODE,
 from repro.lint.findings import Finding, LintReport
 from repro.lint.rules import RULES
 from repro.lint.sarif import to_sarif, write_sarif
+from repro.lint.taint import LEAK_SPECS, BoundarySpec, check_taint
 from repro.lint.typestate import LIFECYCLES, Lifecycle, check_lifecycles
 
 __all__ = [
     "ALL_CODES",
     "BasicBlock",
+    "BoundarySpec",
     "CFG",
     "Edge",
     "Finding",
     "KNOWN_CODES",
+    "LEAK_SPECS",
     "LIFECYCLES",
     "Lifecycle",
     "LintReport",
@@ -75,6 +83,7 @@ __all__ = [
     "build_cfg",
     "build_project",
     "check_lifecycles",
+    "check_taint",
     "dominators",
     "immediate_dominators",
     "lint_paths",

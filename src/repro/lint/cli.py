@@ -156,10 +156,10 @@ def run_lint_command(args: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.lint",
-        description="Whole-program determinism, caching, protocol and "
-                    "performance linter for the repro package (rule "
-                    "families DET/SIM/CACHE/PROTO/PERF; see "
-                    "docs/LINTING.md)")
+        description="Whole-program determinism, caching, protocol, "
+                    "performance and information-boundary linter for the "
+                    "repro package (rule families DET/SIM/CACHE/PROTO/"
+                    "PERF/RES/DOS/LEAK; see docs/LINTING.md)")
     add_lint_arguments(parser)
     return run_lint_command(parser.parse_args(argv))
 

@@ -22,7 +22,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.lint.baseline import Baseline
 from repro.lint.families import (check_dos_paths, check_module_all,
-                                 check_window_paths)
+                                 check_taint, check_window_paths)
 from repro.lint.findings import Finding, LintReport
 from repro.lint.project import ModuleInfo, Project, collect_aliases
 from repro.lint.rules import RULES, ModuleContext
@@ -33,10 +33,11 @@ from repro.lint.typestate import check_lifecycles
 
 def _project_findings(project, enabled) -> List[Finding]:
     """The whole-program rules: PROTO001 chains, RES lifecycles, DOS
-    shapes."""
+    shapes, LEAK taint flows."""
     findings = list(check_window_paths(project, set(enabled)))
     findings.extend(check_lifecycles(project, set(enabled)))
     findings.extend(check_dos_paths(project, set(enabled)))
+    findings.extend(check_taint(project, set(enabled)))
     return findings
 
 ALL_CODES = tuple(sorted(RULES))
@@ -48,19 +49,39 @@ SPECIAL_CODES = ("E902", "E999", UNUSED_CODE, UNKNOWN_CODE)
 KNOWN_CODES = frozenset(ALL_CODES) | frozenset(SPECIAL_CODES)
 
 
+def _expand_codes(tokens: Sequence[str]) -> set:
+    """Expand --select/--ignore tokens to exact codes.
+
+    A token is either an exact code (``LEAK001``) or a family prefix
+    (``LEAK``, ``DET``) that selects every code starting with it.
+    Unknown tokens raise, same as before.
+    """
+    resolved = set()
+    unknown: List[str] = []
+    for token in tokens:
+        token = token.upper()
+        if token in RULES:
+            resolved.add(token)
+            continue
+        family = {code for code in ALL_CODES if code.startswith(token)}
+        if family:
+            resolved |= family
+        else:
+            unknown.append(token)
+    if unknown:
+        raise ValueError(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+    return resolved
+
+
 def resolve_codes(select: Optional[Sequence[str]] = None,
                   ignore: Optional[Sequence[str]] = None) -> frozenset:
-    """The enabled rule-code set for --select/--ignore."""
-    enabled = {code.upper() for code in select} if select else set(ALL_CODES)
-    unknown = sorted(enabled - set(ALL_CODES))
-    if unknown:
-        raise ValueError(f"unknown rule code(s): {', '.join(unknown)}")
+    """The enabled rule-code set for --select/--ignore.
+
+    Both accept exact codes and family prefixes (``--select LEAK``
+    enables LEAK001..LEAK003)."""
+    enabled = _expand_codes(select) if select else set(ALL_CODES)
     if ignore:
-        dropped = {code.upper() for code in ignore}
-        unknown = sorted(dropped - set(ALL_CODES))
-        if unknown:
-            raise ValueError(f"unknown rule code(s): {', '.join(unknown)}")
-        enabled -= dropped
+        enabled -= _expand_codes(ignore)
     return frozenset(enabled)
 
 

@@ -27,6 +27,10 @@ These rules consume the whole-program model built by
   functions the event loop can actually reach (``list.pop(0)``,
   linear ``in`` on a list) and outside the experiments/interface
   layers where per-run code runs once.
+* **LEAK** -- the adversary's information boundary, enforced as an
+  interprocedural taint property.  The engine lives in
+  :mod:`repro.lint.taint`; it is re-exported here so the LEAK family
+  rides the same dispatch surface as the other project-level rules.
 
 Findings cite the reachability witness (file:line call chain) as their
 ``trace`` and the runtime law they mirror as their ``law``.
@@ -47,6 +51,7 @@ from repro.lint.rules import (
     _terminal_name,
     check_layering,
 )
+from repro.lint.taint import check_taint  # noqa: F401  (family re-export)
 
 #: Harness modules where CACHE rules do not apply: the runner/CLI own
 #: the process boundary (cache dir, env overrides) by design.

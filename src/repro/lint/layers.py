@@ -53,6 +53,11 @@ PACKAGE_LAYERS = (
     # analyzer's own CFG/dataflow sweep -- so it sits with the CLI and
     # the linter at the top, not with the experiment artefacts.
     ("repro.bench", "interface"),
+    # The taint engine is part of the linter; the explicit entry keeps
+    # the layer map in lockstep with the module list in docs/LINTING.md
+    # (and gives DET004 a longest-prefix anchor if repro.lint ever
+    # splits).
+    ("repro.lint.taint", "interface"),
     ("repro.lint", "interface"),
     ("repro.cli", "interface"),
     ("repro.__main__", "interface"),

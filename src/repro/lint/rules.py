@@ -82,6 +82,17 @@ RULES = {
     "DOS003": "deadline-timer handle armed via schedule() but not "
               "cancelled on every path that shows cancel intent "
               "(typestate law TIMER_ARMED_NOT_CANCELLED)",
+    "LEAK001": "ground-truth secret (website objects/pages, server-side "
+               "HTTP/2 or HPACK state, TLS plaintext) flows into "
+               "adversary code other than through the sanctioned "
+               "WireView/TcpWireView/RecordInfo surface (interprocedural "
+               "taint; static law ADV_INFO_BOUNDARY)",
+    "LEAK002": "defense module reads adversary/estimator pipeline output "
+               "(no attacker-in-the-loop defenses; static law "
+               "DEFENSE_NO_FEEDBACK)",
+    "LEAK003": "passive tap (invariants monitor / DoS detector) mutates "
+               "simulator or protocol state instead of only observing "
+               "(static law TAP_PASSIVITY)",
 }
 
 #: Modules allowed to read the wall clock: runner telemetry, the worker

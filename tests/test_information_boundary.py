@@ -2,11 +2,16 @@
 
 The paper's adversary is non-intrusive: cleartext headers and sizes
 only.  These tests pin the boundary down so refactors cannot quietly
-hand the attack code ground truth.
+hand the attack code ground truth.  The structural pins are backed by
+the interprocedural LEAK taint pass (repro.lint.taint): the mutation
+test below injects a synthetic leak into a fixture observer and proves
+LEAK001 catches it with the exact multi-hop ``via`` trace, so the
+boundary holds even for flows the token scan cannot see.
 """
 
 import dataclasses
 import inspect
+import textwrap
 
 import pytest
 
@@ -78,3 +83,51 @@ def test_quic_wire_view_is_opaque():
     assert view.tcp is None
     assert view.records == ()
     assert not view.is_retransmit
+
+
+# -- mutation test: the static boundary actually bites ------------------------
+
+#: A faithful observer shape, with one injected leak: the handler reads
+#: ``obj.size`` off the ground-truth WebObject instead of ``view.size``
+#: off the sanctioned wire view.
+_LEAKY_OBSERVER = textwrap.dedent("""\
+    from repro.website.objects import WebObject
+
+
+    class TrafficMonitor:
+        def __init__(self):
+            self._census = []
+
+        def on_transit(self, view, obj: WebObject):
+            if view.size > 0:
+                self._census.append(obj.size)
+""")
+
+
+def test_injected_leak_is_caught_by_leak001_with_exact_trace():
+    """Mutation test: hand a fixture observer ground truth and the
+    taint pass must fail it -- with the full source->branch->sink via
+    trace, not just a line number."""
+    from repro.lint import lint_source
+    findings = lint_source(_LEAKY_OBSERVER, "repro.core.observer",
+                           path="observer.py", select=["LEAK001"])
+    (finding,) = findings
+    assert finding.code == "LEAK001"
+    assert finding.law == "ADV_INFO_BOUNDARY"
+    assert (finding.line, finding.col) == (10, 12)
+    assert finding.trace == (
+        "observer.py:8: parameter 'obj' of TrafficMonitor.on_transit() "
+        "is typed WebObject (ground truth)",
+        "observer.py:9: branch `if view.size > 0:` is taken",
+        "observer.py:10: ground truth flows into self._census "
+        "(adversary state)",
+    )
+
+
+def test_repaired_observer_passes_leak001():
+    """The same fixture reading the sanctioned wire view instead is
+    clean: the mutation test fails for the right reason."""
+    from repro.lint import lint_source
+    repaired = _LEAKY_OBSERVER.replace("obj.size", "view.size")
+    assert lint_source(repaired, "repro.core.observer",
+                       path="observer.py", select=["LEAK001"]) == []

@@ -49,7 +49,7 @@ def test_all_rule_families_are_registered():
         "SIM001", "SIM002", "CACHE001", "CACHE002",
         "PROTO001", "PROTO002", "PERF001", "PERF002",
         "RES001", "RES002", "RES003", "RES004", "DOS001", "DOS002",
-        "DOS003",
+        "DOS003", "LEAK001", "LEAK002", "LEAK003",
     }
     for code in ALL_CODES:
         assert RULES[code]
